@@ -1,0 +1,15 @@
+"""Benchmark: Figure 3 — growth lemmas 4.1/4.2 (experiment E6).
+
+Regenerates the experiment's table(s) under timing and asserts its
+shape criteria (see DESIGN.md experiment index).
+"""
+
+from conftest import run_and_check
+
+
+def test_bench_e06(benchmark):
+    result = benchmark.pedantic(
+        run_and_check, args=("E6",), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.all_passed
+    assert result.tables

@@ -1,0 +1,15 @@
+"""Benchmark: Ablation 1 — lazy vs non-lazy COBRA (experiment E13).
+
+Regenerates the experiment's table(s) under timing and asserts its
+shape criteria (see DESIGN.md experiment index).
+"""
+
+from conftest import run_and_check
+
+
+def test_bench_e13(benchmark):
+    result = benchmark.pedantic(
+        run_and_check, args=("E13",), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.all_passed
+    assert result.tables

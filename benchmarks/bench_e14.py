@@ -1,0 +1,15 @@
+"""Benchmark: Ablation 2 — branching factor beyond 2 (experiment E14).
+
+Regenerates the experiment's table(s) under timing and asserts its
+shape criteria (see DESIGN.md experiment index).
+"""
+
+from conftest import run_and_check
+
+
+def test_bench_e14(benchmark):
+    result = benchmark.pedantic(
+        run_and_check, args=("E14",), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.all_passed
+    assert result.tables

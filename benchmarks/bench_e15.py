@@ -1,0 +1,15 @@
+"""Benchmark: open-conjecture probe T/(n ln n) (experiment E15).
+
+Regenerates the experiment's table(s) under timing and asserts its
+shape criteria (see DESIGN.md experiment index).
+"""
+
+from conftest import run_and_check
+
+
+def test_bench_e15(benchmark):
+    result = benchmark.pedantic(
+        run_and_check, args=("E15",), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.all_passed
+    assert result.tables

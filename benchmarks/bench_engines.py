@@ -1,0 +1,65 @@
+"""Engine microbenchmarks: per-round throughput of the hot paths.
+
+These measure the vectorised kernels the experiment suite is built on —
+one COBRA round, one BIPS round (single and batched), neighbour
+sampling, and the spectral solve — so performance regressions in the
+substrate are caught independently of the experiment pipelines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BipsProcess, CobraProcess
+from repro.graphs import hypercube_graph, random_regular_graph, second_eigenvalue
+
+
+@pytest.fixture(scope="module")
+def expander():
+    return random_regular_graph(4096, 8, rng=1)
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(2)
+
+
+def test_bench_neighbor_sampling(benchmark, expander, rng):
+    verts = rng.integers(0, expander.n, size=100_000)
+    benchmark(expander.sample_neighbors, verts, rng)
+
+
+def test_bench_cobra_round_large_front(benchmark, expander, rng):
+    proc = CobraProcess(expander)
+    active = np.unique(rng.integers(0, expander.n, size=expander.n // 2))
+    benchmark(proc.step, active, rng)
+
+
+def test_bench_bips_round(benchmark, expander, rng):
+    proc = BipsProcess(expander, 0)
+    infected = rng.random(expander.n) < 0.3
+    infected[0] = True
+    benchmark(proc.step, infected, rng)
+
+
+def test_bench_bips_batch_round(benchmark, expander, rng):
+    proc = BipsProcess(expander, 0)
+    infected = rng.random((64, expander.n)) < 0.3
+    infected[:, 0] = True
+    benchmark(proc.step_batch, infected, rng)
+
+
+def test_bench_cobra_full_cover(benchmark, rng):
+    g = hypercube_graph(10)
+    proc = CobraProcess(g, lazy=True)
+
+    def run():
+        return proc.run(0, rng).cover_time
+
+    t = benchmark(run)
+    assert t >= 10  # log2(1024)
+
+
+def test_bench_spectral_gap(benchmark):
+    g = random_regular_graph(1024, 8, rng=3)
+    lam = benchmark(second_eigenvalue, g)
+    assert 0.0 < lam < 1.0

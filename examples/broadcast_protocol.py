@@ -1,0 +1,94 @@
+"""Scenario: choosing a broadcast primitive for a peer-to-peer overlay.
+
+The paper's motivation (Section 1): propagate one message to every node
+quickly, but cap per-node transmissions per round and per-node memory.
+This example plays that design exercise on a 1024-node random-regular
+overlay: it compares
+
+* COBRA (b = 2)            — 2 transmissions/round, one round of memory,
+* single random walk       — 1 transmission/round, no redundancy,
+* log(n) independent walks — the classic multi-walk speedup,
+* push rumour spreading    — 1 transmission/round but permanent memory,
+* flooding                 — r transmissions/round (the speed limit),
+
+reporting rounds-to-complete *and* total transmissions, the two axes
+the paper trades off.
+
+Run with::
+
+    python examples/broadcast_protocol.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.baselines import (
+    flooding_broadcast_time,
+    multi_walk_cover_samples,
+    push_broadcast_samples,
+    random_walk_cover_samples,
+)
+from repro.core import CobraProcess
+from repro.graphs import diameter, random_regular_graph
+from repro.stats import mean_ci
+from repro.theory import lower_bound_cover
+
+
+def cobra_cover_and_transmissions(graph, runs, rng):
+    """Cover rounds and total transmissions for COBRA (b = 2).
+
+    Each active vertex sends b = 2 messages per round, so transmissions
+    per round = 2 |C_t|.
+    """
+    rounds, transmissions = [], []
+    proc = CobraProcess(graph, branching=2)
+    for _ in range(runs):
+        res = proc.run(0, rng, record=True)
+        rounds.append(res.cover_time)
+        transmissions.append(2 * int(res.active_sizes[:-1].sum()))
+    return np.array(rounds), np.array(transmissions)
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    g = random_regular_graph(1024, 8, rng=rng)
+    print(f"overlay: {g}  diameter={diameter(g)}")
+    print(f"universal lower bound for b=2: "
+          f"{lower_bound_cover(g.n, diameter(g)):.1f} rounds\n")
+
+    runs = 20
+    cobra_rounds, cobra_tx = cobra_cover_and_transmissions(g, runs, rng)
+    walk = random_walk_cover_samples(g, runs=6, rng=rng)
+    k = math.ceil(math.log2(g.n))
+    kwalk = multi_walk_cover_samples(g, k, runs=6, rng=rng)
+    push = push_broadcast_samples(g, runs=runs, rng=rng)
+    flood = flooding_broadcast_time(g, 0)
+
+    rows = [
+        ("COBRA b=2 (paper)", mean_ci(cobra_rounds).value,
+         f"{mean_ci(cobra_tx).value:.0f}", "1 round"),
+        ("single random walk", mean_ci(walk).value,
+         f"{mean_ci(walk).value:.0f}", "none"),
+        (f"{k} independent walks", mean_ci(kwalk).value,
+         f"{k * mean_ci(kwalk).value:.0f}", "none"),
+        ("push rumour", mean_ci(push).value,
+         "~n log n", "permanent"),
+        ("flooding", float(flood),
+         f"~{2 * g.m * flood}", "permanent"),
+    ]
+    print(f"{'protocol':26} {'rounds':>10} {'total msgs':>12} {'node memory':>12}")
+    print("-" * 66)
+    for name, rounds, msgs, memory in rows:
+        print(f"{name:26} {rounds:10.1f} {msgs:>12} {memory:>12}")
+
+    speedup = mean_ci(walk).value / mean_ci(cobra_rounds).value
+    print(
+        f"\nCOBRA completes {speedup:.0f}x faster than a single walk while "
+        "sending 2 messages\nper informed node per round and remembering "
+        "nothing across rounds —\nthe trade-off the paper formalises."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""The duality proof, step by step, on one concrete random table.
+
+Theorem 1.3's proof fixes the neighbour selections ω(u, t), runs COBRA
+forward and BIPS on the reversed table, and observes that — with the
+randomness stripped away — "v visited within T rounds" and
+"C ∩ A_T ≠ ∅" are the *same event*.  This script walks one sampled
+table through both replays, prints both trajectories, and then verifies
+the equivalence across thousands of tables.
+
+Run with::
+
+    python examples/proof_coupling.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    SelectionTable,
+    bips_replay,
+    cobra_replay,
+    coupling_equivalence_holds,
+)
+from repro.graphs import cycle_graph, erdos_renyi_graph
+
+
+def walk_through_one_table() -> None:
+    g = cycle_graph(6)
+    rng = np.random.default_rng(4)
+    horizon = 3
+    table = SelectionTable.sample(g, horizon, rng)
+    source, start = 3, [0]
+
+    print(f"graph: {g}, T = {horizon}, COBRA start C = {start}, BIPS source v = {source}")
+    print("\nselection table omega(u, t):")
+    for t in range(horizon):
+        row = "  ".join(
+            f"{u}->{list(table.selections[t][u])}" for u in range(g.n)
+        )
+        print(f"  round {t + 1}: {row}")
+
+    # COBRA forward.
+    active = np.zeros(g.n, dtype=bool)
+    active[start] = True
+    visited = active.copy()
+    print("\nCOBRA forward:")
+    print(f"  C_0 = {sorted(np.nonzero(active)[0].tolist())}")
+    for t in range(horizon):
+        nxt = np.zeros(g.n, dtype=bool)
+        for u in np.nonzero(active)[0]:
+            for w in table.selections[t][int(u)]:
+                nxt[w] = True
+        active = nxt
+        visited |= active
+        print(f"  C_{t + 1} = {sorted(np.nonzero(active)[0].tolist())}")
+
+    # BIPS on the reversed table.
+    infected = np.zeros(g.n, dtype=bool)
+    infected[source] = True
+    print("\nBIPS on the reversed table:")
+    print(f"  A_0 = {sorted(np.nonzero(infected)[0].tolist())}")
+    for s in range(1, horizon + 1):
+        row = table.selections[horizon - s]
+        nxt = np.zeros(g.n, dtype=bool)
+        for u in range(g.n):
+            if any(infected[w] for w in row[u]):
+                nxt[u] = True
+        nxt[source] = True
+        infected = nxt
+        print(f"  A_{s} = {sorted(np.nonzero(infected)[0].tolist())} "
+              f"(used omega(., {horizon - s + 1}))")
+
+    lhs = bool(visited[source])
+    rhs = bool(infected[start].any())
+    print(f"\nv = {source} visited by COBRA within T: {lhs}")
+    print(f"C ∩ A_T nonempty in BIPS:            {rhs}")
+    print(f"equivalence holds: {lhs == rhs}")
+
+
+def mass_verification() -> None:
+    rng = np.random.default_rng(11)
+    trials = 5000
+    ok = 0
+    for trial in range(trials):
+        g = erdos_renyi_graph(7, 0.45, rng=trial % 25)
+        table = SelectionTable.sample(g, horizon=1 + trial % 6, rng=rng)
+        ok += coupling_equivalence_holds(
+            table, [trial % g.n], (3 * trial + 1) % g.n
+        )
+    print(f"\nmass verification: equivalence held on {ok}/{trials} random "
+          "tables (the proof's claim is deterministic, so anything below "
+          "100% would be a bug)")
+
+
+def main() -> None:
+    walk_through_one_table()
+    mass_verification()
+
+
+if __name__ == "__main__":
+    main()

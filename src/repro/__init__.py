@@ -1,0 +1,104 @@
+"""repro — reproduction of *Improved Cover Time Bounds for the
+Coalescing-Branching Random Walk on Graphs* (Cooper, Radzik, Rivera;
+SPAA 2017).
+
+Public API highlights:
+
+* :class:`repro.graphs.Graph` and the family generators — the CSR graph
+  substrate;
+* :class:`repro.core.CobraProcess` / :class:`repro.core.BipsProcess` —
+  the paper's two processes, with single-run and batched engines;
+* :func:`repro.core.verify_duality_exact` — Theorem 1.3 checked to
+  machine precision on tiny graphs;
+* :mod:`repro.theory` — every bound formula in the paper and its
+  comparisons;
+* :mod:`repro.experiments` — the E1..E12 reproduction suite (see
+  DESIGN.md / EXPERIMENTS.md).
+
+Quickstart::
+
+    import numpy as np
+    from repro import hypercube_graph, cover_time_samples
+
+    g = hypercube_graph(7)
+    times = cover_time_samples(g, start=0, runs=100, lazy=True,
+                               rng=np.random.default_rng(1))
+    print(times.mean())
+"""
+
+from ._version import __version__
+from .core import (
+    BernoulliBranching,
+    BipsProcess,
+    CobraProcess,
+    FixedBranching,
+    bips_exact,
+    cover_time,
+    cover_time_samples,
+    infection_time,
+    infection_time_samples,
+    verify_duality_exact,
+    verify_duality_monte_carlo,
+)
+from .experiments import ExperimentConfig, run_experiment
+from .graphs import (
+    Graph,
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    eigenvalue_gap,
+    erdos_renyi_graph,
+    grid_graph,
+    hypercube_graph,
+    margulis_expander,
+    path_graph,
+    random_regular_graph,
+    second_eigenvalue,
+    star_graph,
+    torus_graph,
+)
+from .theory import (
+    bound_spaa17_general,
+    bound_spaa17_regular,
+    hypercube_ladder,
+    lower_bound_cover,
+)
+
+__all__ = [
+    "__version__",
+    # core
+    "BernoulliBranching",
+    "BipsProcess",
+    "CobraProcess",
+    "FixedBranching",
+    "bips_exact",
+    "cover_time",
+    "cover_time_samples",
+    "infection_time",
+    "infection_time_samples",
+    "verify_duality_exact",
+    "verify_duality_monte_carlo",
+    # experiments
+    "ExperimentConfig",
+    "run_experiment",
+    # graphs
+    "Graph",
+    "barbell_graph",
+    "complete_graph",
+    "cycle_graph",
+    "eigenvalue_gap",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "hypercube_graph",
+    "margulis_expander",
+    "path_graph",
+    "random_regular_graph",
+    "second_eigenvalue",
+    "star_graph",
+    "torus_graph",
+    # theory
+    "bound_spaa17_general",
+    "bound_spaa17_regular",
+    "hypercube_ladder",
+    "lower_bound_cover",
+]

@@ -1,0 +1,3 @@
+"""Single-source version string."""
+
+__version__ = "1.0.0"

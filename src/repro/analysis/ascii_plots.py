@@ -1,0 +1,81 @@
+"""Terminal line charts for trajectory ensembles and series.
+
+The environment is CLI-first (no plotting backend is assumed), so the
+"figures" of the experiment suite are renderable as fixed-grid ASCII
+charts: one character column per x bucket, ``*`` for the mean curve and
+``.`` for the quantile band edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.trajectories import TrajectoryEnsemble
+
+__all__ = ["ascii_line_chart", "render_ensemble"]
+
+
+def ascii_line_chart(
+    xs,
+    curves: dict[str, np.ndarray],
+    *,
+    width: int = 72,
+    height: int = 18,
+    markers: str = "*.+ox#@",
+) -> str:
+    """Render one or more aligned curves as an ASCII chart.
+
+    ``curves`` maps labels to y-arrays, all the same length as ``xs``.
+    The grid is ``height`` rows by ``width`` columns; y is scaled to the
+    joint min/max and each curve gets a marker from ``markers`` (legend
+    appended below the axis).
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    if xs.size < 2:
+        raise ValueError("need at least two x points")
+    for label, ys in curves.items():
+        if np.asarray(ys).shape != xs.shape:
+            raise ValueError(f"curve {label!r} length mismatch")
+    if len(curves) > len(markers):
+        raise ValueError("more curves than available markers")
+
+    all_y = np.concatenate([np.asarray(ys, dtype=np.float64) for ys in curves.values()])
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, ys), marker in zip(curves.items(), markers):
+        ys = np.asarray(ys, dtype=np.float64)
+        cols = np.round((xs - x_lo) / (x_hi - x_lo) * (width - 1)).astype(int)
+        rows = np.round((ys - y_lo) / (y_hi - y_lo) * (height - 1)).astype(int)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = marker
+
+    lines = []
+    for i, row in enumerate(grid):
+        y_val = y_hi - (y_hi - y_lo) * i / (height - 1)
+        lines.append(f"{y_val:10.2f} |{''.join(row)}")
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(f"{'':11} {x_lo:<10.0f}{'round':^{max(width - 20, 5)}}{x_hi:>9.0f}")
+    legend = "   ".join(
+        f"{marker} {label}" for (label, _), marker in zip(curves.items(), markers)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def render_ensemble(
+    ensemble: TrajectoryEnsemble, *, width: int = 72, height: int = 18
+) -> str:
+    """Chart an ensemble's mean with its 5–95% quantile band."""
+    xs = np.arange(ensemble.horizon + 1)
+    lo, hi = ensemble.band()
+    chart = ascii_line_chart(
+        xs,
+        {"mean": ensemble.mean(), "q05": lo, "q95": hi},
+        width=width,
+        height=height,
+    )
+    return f"{ensemble.label} ({ensemble.runs} runs)\n{chart}"

@@ -1,0 +1,142 @@
+"""Adversarial-instance search: hunting for large normalised cover times.
+
+The paper's closing open question is whether any graph has COBRA
+(b = 2) cover time ``ω(n log n)``.  E15 checks the *known* adversarial
+families; this module searches *beyond* them: a random-restart
+hill-climb over connected graphs on ``n`` vertices, mutating one edge
+at a time to maximise the estimated ``cover / (n ln n)`` objective.
+
+A search like this cannot prove the conjecture either way — but it is
+exactly the experiment one runs when hunting counterexample structure,
+and its consistent failure to push the ratio past ~1 is (weak,
+heuristic) support for the conjecture.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.cobra import cover_time_samples
+from ..graphs.graph import Graph
+from ..stats.rng import generator_from
+
+__all__ = ["SearchResult", "worst_case_search", "normalized_cover"]
+
+
+def normalized_cover(
+    graph: Graph,
+    *,
+    runs: int = 24,
+    rng=None,
+    max_rounds: int | None = None,
+) -> float:
+    """The search objective: mean cover time over ``n ln n``."""
+    gen = generator_from(rng)
+    samples = cover_time_samples(graph, 0, runs, rng=gen, max_rounds=max_rounds)
+    return float(samples.mean()) / (graph.n * math.log(graph.n))
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one hill-climb."""
+
+    best_graph: Graph
+    best_objective: float
+    initial_objective: float
+    steps_taken: int
+    improvements: int
+
+    @property
+    def conjecture_strained(self) -> bool:
+        """True iff the search found a ratio that looks super-logarithmic.
+
+        The threshold 3.0 is far above anything known families reach
+        (~0.7); crossing it would flag a structure worth studying —
+        not a disproof (finite n), but a lead.
+        """
+        return self.best_objective > 3.0
+
+
+def _mutate(graph: Graph, rng: np.random.Generator) -> Graph | None:
+    """Propose a neighbour: toggle one uniformly random vertex pair.
+
+    Returns None if the proposal disconnects the graph (rejected) or
+    degenerates (no edges).
+    """
+    n = graph.n
+    u = int(rng.integers(0, n))
+    v = int(rng.integers(0, n - 1))
+    if v >= u:
+        v += 1
+    edges = set(graph.edges())
+    key = (min(u, v), max(u, v))
+    if key in edges:
+        if len(edges) <= n - 1:
+            return None  # removing may disconnect a tree-sparse graph
+        edges.remove(key)
+    else:
+        edges.add(key)
+    candidate = Graph(n, sorted(edges), name=f"search-{n}")
+    if not candidate.is_connected():
+        return None
+    return candidate
+
+
+def worst_case_search(
+    n: int = 16,
+    *,
+    steps: int = 120,
+    runs_per_eval: int = 16,
+    seed: int = 0,
+    initial: Graph | None = None,
+) -> SearchResult:
+    """Hill-climb the normalised cover time over graphs on ``n`` vertices.
+
+    Starts from ``initial`` (default: a random connected graph built
+    from a spanning tree plus a few chords), evaluates each single-edge
+    mutation with a fresh Monte-Carlo estimate, and accepts strict
+    improvements.  Noise-tolerant: the incumbent is re-estimated along
+    with each challenger so a lucky estimate cannot entrench itself.
+    """
+    if n < 4:
+        raise ValueError("search needs n >= 4")
+    rng = np.random.default_rng(seed)
+    if initial is None:
+        edges = [(int(rng.integers(0, v)), v) for v in range(1, n)]
+        extra = max(2, n // 4)
+        for _ in range(extra):
+            u = int(rng.integers(0, n))
+            w = int(rng.integers(0, n))
+            if u != w:
+                edges.append((min(u, w), max(u, w)))
+        current = Graph(n, sorted(set(tuple(sorted(e)) for e in edges)), name=f"search-{n}")
+    else:
+        if initial.n != n or not initial.is_connected():
+            raise ValueError("initial graph must be connected with n vertices")
+        current = initial
+
+    current_obj = normalized_cover(current, runs=runs_per_eval, rng=rng)
+    initial_obj = current_obj
+    improvements = 0
+    for _ in range(steps):
+        candidate = _mutate(current, rng)
+        if candidate is None:
+            continue
+        cand_obj = normalized_cover(candidate, runs=runs_per_eval, rng=rng)
+        # Re-estimate the incumbent to keep the comparison fair.
+        current_obj = 0.5 * current_obj + 0.5 * normalized_cover(
+            current, runs=runs_per_eval, rng=rng
+        )
+        if cand_obj > current_obj:
+            current, current_obj = candidate, cand_obj
+            improvements += 1
+    return SearchResult(
+        best_graph=current,
+        best_objective=current_obj,
+        initial_objective=initial_obj,
+        steps_taken=steps,
+        improvements=improvements,
+    )

@@ -1,0 +1,30 @@
+"""Baseline propagation processes COBRA is compared against (E9)."""
+
+from .flooding import flooding_broadcast_time, flooding_frontier_sizes
+from .multi_walk import multi_walk_cover_samples, multi_walk_cover_time
+from .pull import (
+    pull_broadcast_samples,
+    pull_broadcast_time,
+    push_pull_broadcast_time,
+)
+from .push import push_broadcast_samples, push_broadcast_time
+from .random_walk import (
+    random_walk_cover_samples,
+    random_walk_cover_time,
+    walk_trajectory,
+)
+
+__all__ = [
+    "flooding_broadcast_time",
+    "flooding_frontier_sizes",
+    "multi_walk_cover_samples",
+    "multi_walk_cover_time",
+    "pull_broadcast_samples",
+    "pull_broadcast_time",
+    "push_pull_broadcast_time",
+    "push_broadcast_samples",
+    "push_broadcast_time",
+    "random_walk_cover_samples",
+    "random_walk_cover_time",
+    "walk_trajectory",
+]

@@ -1,0 +1,38 @@
+"""Deterministic flooding — the information-propagation speed limit.
+
+Every informed vertex transmits to *all* neighbours each round, so the
+informed set after ``t`` rounds is exactly the BFS ball of radius ``t``
+and broadcast completes in ``ecc(start)`` rounds (``<= Diam(G)``).
+Flooding spends ``d(u)`` transmissions per vertex per round — the
+budget COBRA caps at ``b`` — and realises the ``Diam(G)`` part of the
+paper's universal lower bound ``max{log₂ n, Diam(G)}``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.properties import eccentricity
+from ..graphs.validation import check_vertex, require_connected
+
+__all__ = ["flooding_broadcast_time", "flooding_frontier_sizes"]
+
+
+def flooding_broadcast_time(graph: Graph, start: int = 0) -> int:
+    """Rounds for flooding to inform everyone — equals ``ecc(start)``."""
+    require_connected(graph)
+    return eccentricity(graph, check_vertex(graph, start))
+
+
+def flooding_frontier_sizes(graph: Graph, start: int = 0) -> np.ndarray:
+    """``|informed after t rounds|`` for ``t = 0 .. ecc(start)``.
+
+    The deterministic trajectory COBRA's ``|⋃ C_t|`` curve is bounded
+    above by (COBRA can never beat flooding pointwise).
+    """
+    require_connected(graph)
+    dist = graph.bfs_distances(check_vertex(graph, start))
+    ecc = int(dist.max())
+    counts = np.bincount(dist, minlength=ecc + 1)
+    return np.cumsum(counts)

@@ -1,0 +1,102 @@
+"""Pull and push–pull rumour spreading.
+
+Complements :mod:`repro.baselines.push`: in **pull**, every *uninformed*
+vertex asks one random neighbour per round and learns the rumour if the
+neighbour knows it; **push–pull** does both.  Push–pull is the
+fastest memory-ful gossip primitive (Θ(log n) on much wider graph
+classes than push alone) and is the strongest same-budget comparison
+point for COBRA.
+
+Note the structural kinship: a BIPS round *is* a pull round with ``b``
+requests and SIS forgetting — pull is what BIPS becomes if vertices
+never lose the infection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.validation import check_vertex, require_connected
+
+__all__ = ["pull_broadcast_time", "push_pull_broadcast_time", "pull_broadcast_samples"]
+
+
+def pull_broadcast_time(
+    graph: Graph,
+    start: int = 0,
+    *,
+    rng: np.random.Generator | int | None = None,
+    max_rounds: int | None = None,
+) -> int:
+    """Rounds until everyone is informed under pull-only gossip."""
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    require_connected(graph)
+    n = graph.n
+    cap = max_rounds if max_rounds is not None else int(64 * (n + graph.dmax * np.log(n + 1)) + 1000)
+    informed = np.zeros(n, dtype=bool)
+    informed[check_vertex(graph, start)] = True
+    count = 1
+    t = 0
+    while count < n and t < cap:
+        t += 1
+        askers = np.nonzero(~informed)[0]
+        answers = graph.sample_neighbors(askers, gen)
+        informed[askers] |= informed[answers]
+        count = int(informed.sum())
+    if count < n:
+        raise RuntimeError(f"pull failed to inform {graph.name} within {cap} rounds")
+    return t
+
+
+def push_pull_broadcast_time(
+    graph: Graph,
+    start: int = 0,
+    *,
+    rng: np.random.Generator | int | None = None,
+    max_rounds: int | None = None,
+) -> int:
+    """Rounds to inform everyone when informed push and uninformed pull."""
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    require_connected(graph)
+    n = graph.n
+    cap = max_rounds if max_rounds is not None else int(64 * (n + graph.dmax * np.log(n + 1)) + 1000)
+    informed = np.zeros(n, dtype=bool)
+    informed[check_vertex(graph, start)] = True
+    count = 1
+    t = 0
+    while count < n and t < cap:
+        t += 1
+        # Both halves act on the start-of-round state (simultaneity).
+        before = informed.copy()
+        senders = np.nonzero(before)[0]
+        askers = np.nonzero(~before)[0]
+        pushed = graph.sample_neighbors(senders, gen)
+        answers = graph.sample_neighbors(askers, gen)
+        informed[pushed] = True
+        informed[askers] |= before[answers]
+        count = int(informed.sum())
+    if count < n:
+        raise RuntimeError(
+            f"push-pull failed to inform {graph.name} within {cap} rounds"
+        )
+    return t
+
+
+def pull_broadcast_samples(
+    graph: Graph,
+    start: int = 0,
+    runs: int = 16,
+    *,
+    rng: np.random.Generator | int | None = None,
+    max_rounds: int | None = None,
+) -> np.ndarray:
+    """Sample the pull broadcast time ``runs`` times."""
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    return np.array(
+        [
+            pull_broadcast_time(graph, start, rng=gen, max_rounds=max_rounds)
+            for _ in range(runs)
+        ],
+        dtype=np.int64,
+    )

@@ -1,0 +1,254 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands::
+
+    repro list                    # show registered experiments
+    repro run E1 [--scale quick] [--seed N]   # run one experiment
+    repro run all [--scale smoke]             # run the whole suite
+    repro graph-info hypercube-7              # structural + spectral summary
+
+Experiment output is the table(s) plus the pass/fail shape checks from
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments.config import SCALES, ExperimentConfig
+from .experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction suite for 'Improved Cover Time Bounds for "
+        "the Coalescing-Branching Random Walk on Graphs' (SPAA 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment id (E1..E12) or 'all'")
+    run_p.add_argument("--scale", choices=SCALES, default="quick")
+    run_p.add_argument("--seed", type=int, default=ExperimentConfig().seed)
+    run_p.add_argument("--workers", type=int, default=1)
+
+    info_p = sub.add_parser("graph-info", help="summarise a named graph")
+    info_p.add_argument(
+        "spec",
+        help="family-parameter spec, e.g. hypercube-7, cycle-64, "
+        "complete-32, torus-15x15, rreg-3-128",
+    )
+
+    report_p = sub.add_parser(
+        "report", help="run the suite and write the EXPERIMENTS.md record"
+    )
+    report_p.add_argument("--scale", choices=SCALES, default="full")
+    report_p.add_argument("--seed", type=int, default=ExperimentConfig().seed)
+    report_p.add_argument("--output", default="EXPERIMENTS.md")
+
+    cover_p = sub.add_parser(
+        "cover", help="measure COBRA cover time on a named graph or edge list"
+    )
+    cover_p.add_argument(
+        "spec", help="graph spec (as graph-info) or a path to an edge-list file"
+    )
+    cover_p.add_argument("--runs", type=int, default=100)
+    cover_p.add_argument("--start", type=int, default=0)
+    cover_p.add_argument("--branching", type=float, default=2.0)
+    cover_p.add_argument(
+        "--lazy", action="store_true", help="use the lazy variant (bipartite fix)"
+    )
+    cover_p.add_argument("--seed", type=int, default=0)
+
+    traj_p = sub.add_parser(
+        "trajectory",
+        help="render a BIPS infection / COBRA coverage trajectory chart",
+    )
+    traj_p.add_argument("spec", help="graph spec (as graph-info)")
+    traj_p.add_argument(
+        "--process", choices=("bips", "cobra"), default="bips",
+        help="bips: |A_t| growth; cobra: cumulative coverage",
+    )
+    traj_p.add_argument("--runs", type=int, default=60)
+    traj_p.add_argument("--lazy", action="store_true")
+    traj_p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _graph_from_spec(spec: str):
+    from .graphs import (
+        complete_graph,
+        cycle_graph,
+        hypercube_graph,
+        margulis_expander,
+        path_graph,
+        random_regular_graph,
+        star_graph,
+        torus_graph,
+    )
+
+    parts = spec.split("-")
+    family = parts[0]
+    if family == "hypercube":
+        return hypercube_graph(int(parts[1]))
+    if family == "cycle":
+        return cycle_graph(int(parts[1]))
+    if family == "path":
+        return path_graph(int(parts[1]))
+    if family == "star":
+        return star_graph(int(parts[1]))
+    if family == "complete":
+        return complete_graph(int(parts[1]))
+    if family == "margulis":
+        return margulis_expander(int(parts[1]))
+    if family == "torus":
+        dims = [int(d) for d in parts[1].split("x")]
+        return torus_graph(dims)
+    if family == "rreg":
+        return random_regular_graph(int(parts[2]), int(parts[1]), rng=1)
+    raise SystemExit(f"unknown graph spec {spec!r}")
+
+
+def _cmd_list() -> int:
+    print(f"{'id':5} {'paper anchor':55} title")
+    print("-" * 110)
+    for key in sorted(EXPERIMENTS, key=lambda k: int(k[1:])):
+        spec = EXPERIMENTS[key]
+        print(f"{spec.experiment_id:5} {spec.paper_anchor:55} {spec.title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(seed=args.seed, scale=args.scale, n_workers=args.workers)
+    ids = (
+        sorted(EXPERIMENTS, key=lambda k: int(k[1:]))
+        if args.experiment.lower() == "all"
+        else [args.experiment]
+    )
+    failures = 0
+    for experiment_id in ids:
+        started = time.perf_counter()
+        result = run_experiment(experiment_id, config)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"\n[{experiment_id} finished in {elapsed:.1f}s]\n")
+        if not result.all_passed:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) had failing checks", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_graph_info(args: argparse.Namespace) -> int:
+    from .graphs import spectral_profile, summarize
+
+    g = _graph_from_spec(args.spec)
+    summary = summarize(g)
+    print(f"{g!r}")
+    print(
+        f"  n={summary.n} m={summary.m} dmax={summary.dmax} dmin={summary.dmin} "
+        f"regular={summary.regular} bipartite={summary.bipartite} "
+        f"diameter={summary.diameter}"
+    )
+    profile = spectral_profile(g)
+    print(
+        f"  lambda={profile.second_eigenvalue:.4f} gap={profile.gap:.4f} "
+        f"lazy_gap={profile.lazy_gap:.4f} phi<={profile.conductance_upper:.4f}"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis import generate_report
+
+    config = ExperimentConfig(seed=args.seed, scale=args.scale)
+    text = generate_report(config)
+    Path(args.output).write_text(text)
+    print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    return 0
+
+
+def _cmd_cover(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import numpy as np
+
+    from .core import cover_time_samples
+    from .graphs import is_bipartite, read_edge_list
+    from .stats import mean_ci, whp_quantile
+    from .theory import bound_spaa17_general
+
+    if Path(args.spec).exists():
+        g = read_edge_list(args.spec)
+    else:
+        g = _graph_from_spec(args.spec)
+    lazy = args.lazy
+    if not lazy and is_bipartite(g):
+        print(f"{g.name} is bipartite: enabling the lazy variant automatically")
+        lazy = True
+    rng = np.random.default_rng(args.seed)
+    samples = cover_time_samples(
+        g, args.start, args.runs, branching=args.branching, lazy=lazy, rng=rng
+    )
+    mean = mean_ci(samples)
+    whp = whp_quantile(samples, rng=rng)
+    print(f"{g!r}  start={args.start} b={args.branching:g} lazy={lazy}")
+    print(f"  mean cover time : {mean}")
+    print(f"  95th percentile : {whp}")
+    print(
+        f"  Theorem 1.1 bound (constant 1): "
+        f"{bound_spaa17_general(g.n, g.m, g.dmax):.1f}"
+    )
+    return 0
+
+
+def _cmd_trajectory(args: argparse.Namespace) -> int:
+    from .analysis.ascii_plots import render_ensemble
+    from .core import bips_size_ensemble, cobra_coverage_ensemble
+    from .graphs import is_bipartite
+
+    g = _graph_from_spec(args.spec)
+    lazy = args.lazy or is_bipartite(g)
+    if args.process == "bips":
+        ensemble = bips_size_ensemble(
+            g, runs=args.runs, lazy=lazy, seed=args.seed
+        )
+    else:
+        ensemble = cobra_coverage_ensemble(
+            g, runs=args.runs, lazy=lazy, seed=args.seed
+        )
+    print(render_ensemble(ensemble))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "graph-info":
+        return _cmd_graph_info(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "cover":
+        return _cmd_cover(args)
+    if args.command == "trajectory":
+        return _cmd_trajectory(args)
+    raise SystemExit(2)  # pragma: no cover - argparse enforces commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

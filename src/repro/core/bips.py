@@ -1,0 +1,314 @@
+"""The BIPS (Biased Infection with Persistent Source) engine.
+
+Process definition (paper, Section 1): ``A_0 = {v}`` and
+``A_{t+1} = Infect(A_t) ∪ {v}``, where in ``Infect(S)`` every vertex
+``u`` independently selects ``b`` random neighbours with replacement
+and joins the next infected set iff at least one selected neighbour is
+in ``S``.  The source ``v`` is persistently infected; all other
+vertices refresh their status every round (SIS dynamics).
+
+BIPS is the time-reversed dual of COBRA (Theorem 1.3); the paper's new
+cover-time bounds are proven by bounding the BIPS infection time
+(Theorems 1.4 and 1.5).  This engine therefore exposes everything the
+proofs track: ``|A_t|``, the degree ``d(A_t)`` of Section 3, and the
+candidate sets ``C_t`` of eq. (6) used by Corollaries 5.2/5.3.
+
+One round costs O(b·n) vectorised work; the batch runner advances ``R``
+runs with (R, n) boolean state updated in place.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.validation import check_vertex, require_connected
+from .branching import BranchingPolicy, FixedBranching, make_policy
+from .state import BipsBatchResult, BipsResult
+
+__all__ = [
+    "BipsProcess",
+    "default_infection_cap",
+    "infection_time",
+    "infection_time_samples",
+    "candidate_set",
+    "fixed_set",
+]
+
+
+def default_infection_cap(graph: Graph) -> int:
+    """Round cap mirroring :func:`repro.core.cobra.default_round_cap`.
+
+    Theorem 1.4 guarantees infection within ``O(m + dmax² log n)`` with
+    probability ``1 − O(1/n³)``, so ``64×`` that is effectively certain.
+    """
+    n = graph.n
+    bound = graph.m + graph.dmax**2 * max(1.0, math.log(n))
+    return int(64 * bound + 1000)
+
+
+def fixed_set(graph: Graph, infected: np.ndarray) -> np.ndarray:
+    """``B_fix = {u : N(u) ⊆ A}`` — the deterministic part of the next set.
+
+    ``infected`` is a boolean mask of ``A``.  Returns a boolean mask.
+    (Paper, Section 3: these vertices will be infected regardless of
+    their random selections, because every selection lands in ``A``.)
+    """
+    counts = np.add.reduceat(
+        infected[graph.indices].astype(np.int64), graph.indptr[:-1]
+    )
+    return counts == graph.degrees
+
+
+def candidate_set(graph: Graph, infected: np.ndarray, source: int) -> np.ndarray:
+    """``C = (N(A) ∪ {v}) \\ B_fix`` — the candidates of eq. (6).
+
+    These are exactly the vertices whose next-round status is random;
+    Corollary 5.2 lower-bounds ``|C_t|`` by ``|A_{t-1}|(1-λ)/2`` for
+    regular graphs with ``|A_{t-1}| <= n/2``.
+    """
+    counts = np.add.reduceat(
+        infected[graph.indices].astype(np.int64), graph.indptr[:-1]
+    )
+    in_neighborhood = counts > 0
+    in_neighborhood[source] = True
+    bfix = counts == graph.degrees
+    return in_neighborhood & ~bfix
+
+
+class BipsProcess:
+    """A BIPS process bound to a graph, source vertex and branching policy.
+
+    Parameters mirror :class:`~repro.core.cobra.CobraProcess`; the extra
+    ``source`` is the persistent source ``v``.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        source: int,
+        branching: BranchingPolicy | int | float = 2,
+        *,
+        lazy: bool = False,
+    ) -> None:
+        require_connected(graph)
+        self.graph = graph
+        self.source = check_vertex(graph, source)
+        self.policy = make_policy(branching)
+        self.lazy = lazy
+        self._all_vertices = np.arange(graph.n, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def _select(self, actors: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        targets = self.graph.sample_neighbors(actors, rng)
+        if self.lazy:
+            stay = rng.random(actors.shape[0]) < 0.5
+            targets = np.where(stay, actors, targets)
+        return targets
+
+    def step(self, infected: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """One parallel round: return the next infected boolean mask.
+
+        Every vertex makes its selections; a vertex is infected next
+        round iff some selection is currently infected.  The source is
+        then forced back in.
+        """
+        g = self.graph
+        infected = np.asarray(infected, dtype=bool)
+        if infected.shape != (g.n,):
+            raise ValueError(f"infected mask must have shape ({g.n},)")
+
+        pick = self._select(self._all_vertices, rng)
+        nxt = infected[pick]
+        if isinstance(self.policy, FixedBranching) and self.policy.b >= 2:
+            for _ in range(self.policy.b - 1):
+                pick = self._select(self._all_vertices, rng)
+                nxt |= infected[pick]
+        else:
+            p2 = self.policy.second_selection_probability()
+            if p2 > 0.0:
+                second = rng.random(g.n) < p2
+                actors = self._all_vertices[second]
+                pick2 = self._select(actors, rng)
+                nxt[actors] |= infected[pick2]
+        nxt[self.source] = True
+        return nxt
+
+    def step_batch(
+        self, infected: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One parallel round for ``R`` runs at once: ``(R, n) → (R, n)``."""
+        g = self.graph
+        runs = infected.shape[0]
+        verts_tile = np.tile(self._all_vertices, runs)
+        pick = self._select(verts_tile, rng).reshape(runs, g.n)
+        nxt = np.take_along_axis(infected, pick, axis=1)
+        if isinstance(self.policy, FixedBranching):
+            for _ in range(self.policy.b - 1):
+                pick = self._select(verts_tile, rng).reshape(runs, g.n)
+                nxt |= np.take_along_axis(infected, pick, axis=1)
+        else:
+            p2 = self.policy.second_selection_probability()
+            if p2 > 0.0:
+                pick = self._select(verts_tile, rng).reshape(runs, g.n)
+                second = rng.random((runs, g.n)) < p2
+                nxt |= np.take_along_axis(infected, pick, axis=1) & second
+        nxt[:, self.source] = True
+        return nxt
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        rng: np.random.Generator,
+        *,
+        max_rounds: int | None = None,
+        record_degrees: bool = False,
+        record_candidates: bool = False,
+        initial: np.ndarray | None = None,
+    ) -> BipsResult:
+        """Run until the whole graph is infected (or the cap).
+
+        ``initial`` optionally overrides ``A_0`` (must contain the
+        source); the proofs' restart/monotonicity arguments use this.
+        """
+        g = self.graph
+        if initial is None:
+            infected = np.zeros(g.n, dtype=bool)
+            infected[self.source] = True
+        else:
+            infected = np.array(initial, dtype=bool)
+            if infected.shape != (g.n,) or not infected[self.source]:
+                raise ValueError("initial set must be a mask containing the source")
+        cap = default_infection_cap(g) if max_rounds is None else int(max_rounds)
+
+        sizes = [int(infected.sum())]
+        degree_sizes = [g.degrees[infected].sum()] if record_degrees else None
+        candidate_sizes = [] if record_candidates else None
+
+        t = 0
+        while not infected.all() and t < cap:
+            if record_candidates:
+                candidate_sizes.append(
+                    int(candidate_set(g, infected, self.source).sum())
+                )
+            t += 1
+            infected = self.step(infected, rng)
+            sizes.append(int(infected.sum()))
+            if record_degrees:
+                degree_sizes.append(int(g.degrees[infected].sum()))
+
+        done = bool(infected.all())
+        return BipsResult(
+            infected_all=done,
+            infection_time=t if done else -1,
+            rounds_run=t,
+            sizes=np.asarray(sizes, dtype=np.int64),
+            degree_sizes=np.asarray(
+                degree_sizes if record_degrees else [], dtype=np.int64
+            ),
+            candidate_sizes=np.asarray(
+                candidate_sizes if record_candidates else [], dtype=np.int64
+            ),
+            final_infected=infected,
+        )
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        runs: int,
+        rng: np.random.Generator,
+        *,
+        max_rounds: int | None = None,
+        record_sizes: bool = False,
+    ) -> BipsBatchResult:
+        """Advance ``runs`` independent BIPS runs together.
+
+        All runs share the same source.  A run that has fully infected
+        stops being updated (its state is frozen at all-infected).
+        """
+        g = self.graph
+        if runs < 1:
+            raise ValueError("need at least one run")
+        cap = default_infection_cap(g) if max_rounds is None else int(max_rounds)
+
+        infected = np.zeros((runs, g.n), dtype=bool)
+        infected[:, self.source] = True
+        times = np.full(runs, -1, dtype=np.int64)
+        if g.n == 1:
+            times[:] = 0
+        sizes = [infected.sum(axis=1)] if record_sizes else None
+
+        t = 0
+        while np.any(times < 0) and t < cap:
+            t += 1
+            alive = times < 0
+            nxt = self.step_batch(infected, rng)
+            # Freeze finished runs at all-infected.
+            infected = np.where(alive[:, None], nxt, infected)
+            done_now = alive & infected.all(axis=1)
+            times[done_now] = t
+            if record_sizes:
+                sizes.append(infected.sum(axis=1))
+
+        return BipsBatchResult(
+            infection_times=times,
+            rounds_run=t,
+            sizes=np.column_stack(sizes) if record_sizes else None,
+        )
+
+
+# ----------------------------------------------------------------------
+# Convenience wrappers
+# ----------------------------------------------------------------------
+def infection_time(
+    graph: Graph,
+    source: int = 0,
+    *,
+    branching: BranchingPolicy | int | float = 2,
+    lazy: bool = False,
+    rng: np.random.Generator | int | None = None,
+    max_rounds: int | None = None,
+) -> int:
+    """Sample ``infec(source)`` once.  Raises if the cap is hit."""
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    res = BipsProcess(graph, source, branching, lazy=lazy).run(
+        gen, max_rounds=max_rounds
+    )
+    if not res.infected_all:
+        raise RuntimeError(
+            f"BIPS did not infect {graph.name} within {res.rounds_run} rounds"
+        )
+    return res.infection_time
+
+
+def infection_time_samples(
+    graph: Graph,
+    source: int = 0,
+    runs: int = 32,
+    *,
+    branching: BranchingPolicy | int | float = 2,
+    lazy: bool = False,
+    rng: np.random.Generator | int | None = None,
+    max_rounds: int | None = None,
+    batch_size: int = 256,
+) -> np.ndarray:
+    """Sample ``infec(source)`` ``runs`` times via the batch engine."""
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    proc = BipsProcess(graph, source, branching, lazy=lazy)
+    if runs <= 0:
+        return np.empty(0, dtype=np.int64)
+    out = []
+    left = int(runs)
+    while left > 0:
+        r = min(left, batch_size)
+        res = proc.run_batch(r, gen, max_rounds=max_rounds)
+        if not res.all_infected:
+            raise RuntimeError(
+                f"{(res.infection_times < 0).sum()} of {r} BIPS runs on "
+                f"{graph.name} hit the round cap"
+            )
+        out.append(res.infection_times)
+        left -= r
+    return np.concatenate(out)

@@ -1,0 +1,114 @@
+"""Hitting-time utilities and the classical random-walk cross-check.
+
+For branching factor ``b = 1`` the COBRA process *is* a simple random
+walk, so its hit times must match classical Markov-chain theory.  This
+module computes exact expected hitting times ``H(u, v)`` by solving the
+linear system
+
+    ``H(u, v) = 1 + (1/d(u)) Σ_{w ∈ N(u)} H(w, v)``,   ``H(v, v) = 0``
+
+and provides Monte-Carlo hit-time survival estimation for any branching
+factor — the empirical counterpart of
+:func:`repro.core.exact.cobra_hit_survival_exact` at scales where the
+exact chain is out of reach.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.validation import check_vertex, require_connected
+from ..stats.rng import generator_from
+from ..stats.survival import SurvivalCurve, empirical_survival
+from .branching import BranchingPolicy
+from .cobra import CobraProcess
+
+__all__ = [
+    "random_walk_hitting_times",
+    "random_walk_hitting_time",
+    "cobra_hit_survival_mc",
+    "commute_time",
+]
+
+
+def random_walk_hitting_times(graph: Graph, target: int) -> np.ndarray:
+    """Exact ``E[hitting time of target]`` from every start vertex.
+
+    Solves the ``(n−1) × (n−1)`` linear system above (dense; fine for
+    the n ≤ a-few-thousand graphs the experiments use).  Entry
+    ``target`` is 0.
+    """
+    require_connected(graph)
+    target = check_vertex(graph, target)
+    n = graph.n
+    others = [u for u in range(n) if u != target]
+    index = {u: i for i, u in enumerate(others)}
+    a = np.eye(n - 1)
+    rhs = np.ones(n - 1)
+    for u in others:
+        i = index[u]
+        du = graph.degree(u)
+        for w in graph.neighbors(u):
+            w = int(w)
+            if w != target:
+                a[i, index[w]] -= 1.0 / du
+    sol = np.linalg.solve(a, rhs)
+    out = np.zeros(n)
+    for u in others:
+        out[u] = sol[index[u]]
+    return out
+
+
+def random_walk_hitting_time(graph: Graph, start: int, target: int) -> float:
+    """Exact ``H(start, target)`` for the simple random walk."""
+    return float(random_walk_hitting_times(graph, target)[check_vertex(graph, start)])
+
+
+def commute_time(graph: Graph, u: int, v: int) -> float:
+    """``H(u, v) + H(v, u)`` — equals ``2m · R_eff(u, v)`` classically."""
+    return random_walk_hitting_time(graph, u, v) + random_walk_hitting_time(
+        graph, v, u
+    )
+
+
+def cobra_hit_survival_mc(
+    graph: Graph,
+    start,
+    target: int,
+    *,
+    branching: BranchingPolicy | int | float = 2,
+    lazy: bool = False,
+    runs: int = 1000,
+    horizon: int = 64,
+    rng=None,
+) -> SurvivalCurve:
+    """Monte-Carlo ``P(Hit(target) > T | C_0 = start)`` for ``T ≤ horizon``.
+
+    Runs hitting the horizon are censored (counted as surviving), so
+    the curve is exact in expectation at every ``T ≤ horizon``.
+    """
+    gen = generator_from(rng)
+    require_connected(graph)
+    target = check_vertex(graph, target)
+    proc = CobraProcess(graph, branching, lazy=lazy)
+    if np.ndim(start) == 0:
+        start_arr = np.array([int(start)], dtype=np.int64)
+    else:
+        start_arr = np.asarray(sorted(set(int(s) for s in start)), dtype=np.int64)
+    hits = np.empty(runs, dtype=np.int64)
+    for i in range(runs):
+        active = start_arr.copy()
+        if np.any(active == target):
+            hits[i] = 0
+            continue
+        t = 0
+        hit_at = -1
+        while t < horizon:
+            t += 1
+            active = proc.step(active, gen)
+            if np.any(active == target):
+                hit_at = t
+                break
+        hits[i] = hit_at
+    return empirical_survival(hits, horizon=horizon)

@@ -1,0 +1,236 @@
+"""Serialised BIPS: the per-step martingale view of Section 3.
+
+The paper analyses a BIPS round by pretending the candidate vertices
+decide *sequentially* in a fixed global vertex order.  Step ``l``
+corresponds to a candidate ``u ∈ C_t`` and carries the random variable
+
+    ``Y_l = d(u)·X_{t,u} − d_{A_{t−1}}(u)``,
+
+where ``X_{t,u}`` indicates that ``u`` joins the next infected set.
+Equation (14) then writes ``d(A_t) = d(v) + Σ Y_l``, and the rescaled
+``Z_l = (1/2 − Y_l)/d_max`` form a supermartingale (eq. (18) gives
+``E[Y_l | history] ≥ 1/2``, or ``≥ ρ/2`` for branching ``1 + ρ``).
+
+This module implements that serialisation *exactly* — each candidate's
+decision is independent given ``A_{t−1}``, so stepping them one at a
+time is distributionally identical to the parallel round — and records
+every quantity the proof manipulates, so Lemma 3.1's machinery can be
+tested and the concentration experiment (E10) can consume real ``Z_l``
+streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.validation import check_vertex, require_connected
+from .branching import BernoulliBranching, BranchingPolicy, FixedBranching, make_policy
+
+__all__ = ["StepRecord", "RoundRecord", "SerializedBips", "collect_increments"]
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One serialised step (one candidate vertex's decision).
+
+    Attributes map 1:1 onto the paper's notation: ``l`` (global step
+    index, 1-based), ``round_index`` (t, 1-based), ``vertex`` (u),
+    ``degree`` (d(u)), ``infected_neighbors`` (d_A(u)), ``x`` (X_{t,u}),
+    ``y`` (Y_l), ``z`` (Z_l), and ``conditional_mean`` (E[Y_l | history],
+    which eq. (17) evaluates to ``d_A(u)(1 − d_A(u)/d(u))`` for u ≠ v).
+    """
+
+    l: int
+    round_index: int
+    vertex: int
+    degree: int
+    infected_neighbors: int
+    x: int
+    y: float
+    z: float
+    conditional_mean: float
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """All steps of one round plus the round-level bookkeeping.
+
+    ``degree_before``/``degree_after`` are ``d(A_{t−1})`` and ``d(A_t)``;
+    equation (12) asserts ``degree_after = degree_before + Σ_steps y``,
+    which :meth:`check_identity` verifies.
+    """
+
+    round_index: int
+    steps: tuple[StepRecord, ...]
+    degree_before: int
+    degree_after: int
+    candidate_count: int
+    fixed_degree: int  # d(B_fix)
+
+    def check_identity(self) -> bool:
+        """Verify eq. (12): d(B) = d(A) + Σ (d(u)X_u − d_A(u))."""
+        total = sum(s.y for s in self.steps)
+        return self.degree_after == self.degree_before + round(total)
+
+
+@dataclass
+class SerializedBips:
+    """A BIPS process advanced candidate-by-candidate.
+
+    Parameters
+    ----------
+    graph, source, branching, lazy:
+        As in :class:`~repro.core.bips.BipsProcess`.
+    order:
+        The arbitrary-but-fixed vertex ordering of the serialisation;
+        defaults to ascending vertex id.
+
+    The per-step infection probability for a candidate ``u ≠ v`` with
+    ``a = d_A(u)`` infected neighbours is eq. (32)/(33):
+
+    * fixed ``b``:   ``1 − (1 − a/d)^b``
+    * ``b = 1 + ρ``: ``1 − (1 − a/d)(1 − ρ·a/d)``
+
+    (the lazy variant halves each selection's chance of leaving ``u``,
+    replacing ``a/d`` by ``a/(2d)`` plus ``1/2`` self-mass that is
+    infected iff ``u ∈ A``).
+    """
+
+    graph: Graph
+    source: int
+    branching: BranchingPolicy | int | float = 2
+    lazy: bool = False
+    order: np.ndarray | None = None
+    _policy: BranchingPolicy = field(init=False)
+    _infected: np.ndarray = field(init=False)
+    _round: int = field(init=False, default=0)
+    _step: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        require_connected(self.graph)
+        self.source = check_vertex(self.graph, self.source)
+        self._policy = make_policy(self.branching)
+        if self.order is None:
+            self.order = np.arange(self.graph.n, dtype=np.int64)
+        else:
+            self.order = np.asarray(self.order, dtype=np.int64)
+            if sorted(self.order.tolist()) != list(range(self.graph.n)):
+                raise ValueError("order must be a permutation of all vertices")
+        self._infected = np.zeros(self.graph.n, dtype=bool)
+        self._infected[self.source] = True
+
+    # ------------------------------------------------------------------
+    @property
+    def infected(self) -> np.ndarray:
+        """Boolean mask of the current infected set ``A_t`` (read-only view)."""
+        return self._infected.copy()
+
+    @property
+    def complete(self) -> bool:
+        """True iff ``A_t = V``."""
+        return bool(self._infected.all())
+
+    def _infection_probability(self, u: int, a: int, u_infected: bool) -> float:
+        """P(candidate u joins the next infected set | d_A(u) = a)."""
+        d = self.graph.degree(u)
+        p = a / d
+        if self.lazy:
+            p = 0.5 * p + (0.5 if u_infected else 0.0)
+        if isinstance(self._policy, FixedBranching):
+            return 1.0 - (1.0 - p) ** self._policy.b
+        assert isinstance(self._policy, BernoulliBranching)
+        rho = self._policy.rho
+        return 1.0 - (1.0 - p) * (1.0 - rho * p)
+
+    # ------------------------------------------------------------------
+    def run_round(self, rng: np.random.Generator) -> RoundRecord:
+        """Serially decide every candidate; advance ``A_{t−1} → A_t``."""
+        if self.complete:
+            raise RuntimeError("process already complete; no further rounds")
+        g = self.graph
+        self._round += 1
+        infected = self._infected
+        counts = np.add.reduceat(
+            infected[g.indices].astype(np.int64), g.indptr[:-1]
+        )
+        bfix = counts == g.degrees
+        in_nbhd = counts > 0
+        in_nbhd[self.source] = True
+        candidates_mask = in_nbhd & ~bfix
+        candidates = self.order[candidates_mask[self.order]]
+
+        degree_before = int(g.degrees[infected].sum())
+        fixed_degree = int(g.degrees[bfix].sum())
+        dmax = g.dmax
+
+        next_infected = bfix.copy()
+        steps: list[StepRecord] = []
+        for u in candidates:
+            u = int(u)
+            self._step += 1
+            a = int(counts[u])
+            d = g.degree(u)
+            if u == self.source:
+                # The source is in B_rand whenever it is a candidate:
+                # X_v ≡ 1 and Y_l = d(v) − d_A(v) ≥ 1.
+                x = 1
+                cond_mean = float(d - a)
+            else:
+                p = self._infection_probability(u, a, bool(infected[u]))
+                x = int(rng.random() < p)
+                cond_mean = d * p - a
+            y = float(d * x - a)
+            steps.append(
+                StepRecord(
+                    l=self._step,
+                    round_index=self._round,
+                    vertex=u,
+                    degree=d,
+                    infected_neighbors=a,
+                    x=x,
+                    y=y,
+                    z=(0.5 - y) / dmax,
+                    conditional_mean=cond_mean,
+                )
+            )
+            if x:
+                next_infected[u] = True
+        next_infected[self.source] = True
+        self._infected = next_infected
+        return RoundRecord(
+            round_index=self._round,
+            steps=tuple(steps),
+            degree_before=degree_before,
+            degree_after=int(g.degrees[next_infected].sum()),
+            candidate_count=len(steps),
+            fixed_degree=fixed_degree,
+        )
+
+    def run(
+        self, rng: np.random.Generator, *, max_rounds: int = 10_000
+    ) -> list[RoundRecord]:
+        """Run rounds until complete infection (or the cap); return records."""
+        records: list[RoundRecord] = []
+        while not self.complete and len(records) < max_rounds:
+            records.append(self.run_round(rng))
+        return records
+
+
+def collect_increments(
+    records: list[RoundRecord],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten round records into ``(Y_l, Z_l, conditional means)`` arrays.
+
+    The arrays follow the paper's global step index ``l = 1, 2, …`` up
+    to ``ν(T)`` (no padding with the technical ``Y_l = 1`` values; tests
+    that need the padded sequence append it themselves).
+    """
+    ys = np.array([s.y for r in records for s in r.steps], dtype=np.float64)
+    zs = np.array([s.z for r in records for s in r.steps], dtype=np.float64)
+    means = np.array(
+        [s.conditional_mean for r in records for s in r.steps], dtype=np.float64
+    )
+    return ys, zs, means

@@ -1,0 +1,127 @@
+"""Result containers for process runs.
+
+Plain frozen dataclasses: the engines return these instead of bare
+tuples so experiment code reads like the paper ("``result.cover_time``",
+"``result.infection_time``", "``result.sizes``").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "CobraResult",
+    "CobraBatchResult",
+    "BipsResult",
+    "BipsBatchResult",
+]
+
+
+@dataclass(frozen=True)
+class CobraResult:
+    """Outcome of one COBRA run.
+
+    Attributes
+    ----------
+    covered:
+        True iff every vertex was visited within the round cap.
+    cover_time:
+        ``cover(u)`` per the paper: the first round ``T`` with
+        ``union_{t<=T} C_t = V``.  Only valid when ``covered``.
+    rounds_run:
+        Number of rounds actually simulated.
+    hit_times:
+        Per-vertex first-visit round (``Hit(w)``); ``-1`` if unvisited.
+    active_sizes:
+        ``|C_t|`` for ``t = 0 .. rounds_run`` (empty if not recorded).
+    visited_counts:
+        Cumulative number of distinct visited vertices per round
+        (empty if not recorded).
+    """
+
+    covered: bool
+    cover_time: int
+    rounds_run: int
+    hit_times: np.ndarray
+    active_sizes: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    visited_counts: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+
+    def hit_time(self, v: int) -> int:
+        """First round vertex ``v`` received a particle; -1 if never."""
+        return int(self.hit_times[v])
+
+
+@dataclass(frozen=True)
+class CobraBatchResult:
+    """Outcome of ``R`` independent COBRA runs advanced together.
+
+    ``cover_times[i] == -1`` marks a run that hit the round cap without
+    covering.  ``hit_times`` has shape ``(R, n)`` with ``-1`` for
+    unvisited, and is only populated when requested.
+    """
+
+    cover_times: np.ndarray
+    rounds_run: int
+    hit_times: np.ndarray | None = None
+
+    @property
+    def all_covered(self) -> bool:
+        """True iff every run covered the graph within the cap."""
+        return bool(np.all(self.cover_times >= 0))
+
+    def covered_fraction(self) -> float:
+        """Fraction of runs that covered within the cap."""
+        return float(np.mean(self.cover_times >= 0))
+
+
+@dataclass(frozen=True)
+class BipsResult:
+    """Outcome of one BIPS run.
+
+    Attributes
+    ----------
+    infected_all:
+        True iff the whole graph was infected within the round cap.
+    infection_time:
+        ``infec(v)``: the first round at which ``A_t = V``.
+    rounds_run:
+        Number of rounds simulated.
+    sizes:
+        ``|A_t|`` for ``t = 0 .. rounds_run``.
+    degree_sizes:
+        ``d(A_t)`` (the quantity tracked in Section 3), same indexing;
+        empty unless recorded.
+    candidate_sizes:
+        ``|C_t|`` for ``t = 1 .. rounds_run`` (the candidate sets of
+        eq. (6)); empty unless recorded.
+    final_infected:
+        Boolean mask of the infected set at the last simulated round.
+    """
+
+    infected_all: bool
+    infection_time: int
+    rounds_run: int
+    sizes: np.ndarray
+    degree_sizes: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    candidate_sizes: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    final_infected: np.ndarray = field(default_factory=lambda: np.empty(0, bool))
+
+
+@dataclass(frozen=True)
+class BipsBatchResult:
+    """Outcome of ``R`` independent BIPS runs advanced together.
+
+    ``infection_times[i] == -1`` marks a run that hit the round cap.
+    ``sizes`` has shape ``(R, rounds_run + 1)`` when recorded.
+    """
+
+    infection_times: np.ndarray
+    rounds_run: int
+    sizes: np.ndarray | None = None
+
+    @property
+    def all_infected(self) -> bool:
+        """True iff every run fully infected within the cap."""
+        return bool(np.all(self.infection_times >= 0))

@@ -1,0 +1,129 @@
+"""Trajectory ensembles: aligned multi-run time series with quantile bands.
+
+The "figure"-style experiments (growth curves, phase schedules) need
+many runs' ``|A_t|`` / ``|C_t|`` / visited-count series aligned on a
+common round axis with mean and quantile bands.  Runs end at different
+rounds, so series are padded with their terminal value (the infected
+set stays full; the visited count stays ``n``), which is the correct
+continuation for monotone-terminal processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..stats.rng import spawn_generators
+from .bips import BipsProcess
+from .branching import BranchingPolicy
+from .cobra import CobraProcess
+
+__all__ = [
+    "TrajectoryEnsemble",
+    "bips_size_ensemble",
+    "cobra_coverage_ensemble",
+]
+
+
+@dataclass(frozen=True)
+class TrajectoryEnsemble:
+    """``runs × (horizon + 1)`` aligned series plus summary accessors."""
+
+    label: str
+    series: np.ndarray  # (runs, horizon + 1)
+
+    @property
+    def runs(self) -> int:
+        """Number of runs in the ensemble."""
+        return self.series.shape[0]
+
+    @property
+    def horizon(self) -> int:
+        """Largest round index on the common axis."""
+        return self.series.shape[1] - 1
+
+    def mean(self) -> np.ndarray:
+        """Per-round ensemble mean."""
+        return self.series.mean(axis=0)
+
+    def quantile(self, q: float) -> np.ndarray:
+        """Per-round ensemble quantile."""
+        return np.quantile(self.series, q, axis=0)
+
+    def band(self, lo: float = 0.05, hi: float = 0.95) -> tuple[np.ndarray, np.ndarray]:
+        """A (lower, upper) quantile band — the shaded region of a figure."""
+        return self.quantile(lo), self.quantile(hi)
+
+    def first_round_reaching(self, target: float) -> np.ndarray:
+        """Per-run first round with value >= target (−1 if never)."""
+        hits = self.series >= target
+        any_hit = hits.any(axis=1)
+        firsts = np.where(any_hit, hits.argmax(axis=1), -1)
+        return firsts.astype(np.int64)
+
+    def to_rows(self, *, stride: int = 1) -> list[dict]:
+        """Figure-series rows: round, mean, q05, q95 (for Table dumps)."""
+        mean = self.mean()
+        lo, hi = self.band()
+        return [
+            {
+                "round": t,
+                "mean": float(mean[t]),
+                "q05": float(lo[t]),
+                "q95": float(hi[t]),
+            }
+            for t in range(0, self.horizon + 1, stride)
+        ]
+
+
+def _align(series_list: list[np.ndarray]) -> np.ndarray:
+    horizon = max(s.shape[0] for s in series_list)
+    out = np.empty((len(series_list), horizon), dtype=np.float64)
+    for i, s in enumerate(series_list):
+        out[i, : s.shape[0]] = s
+        out[i, s.shape[0] :] = s[-1]  # terminal-value padding
+    return out
+
+
+def bips_size_ensemble(
+    graph: Graph,
+    source: int = 0,
+    runs: int = 50,
+    *,
+    branching: BranchingPolicy | int | float = 2,
+    lazy: bool = False,
+    seed=0,
+) -> TrajectoryEnsemble:
+    """Ensemble of BIPS infection-size series ``|A_t|``."""
+    proc = BipsProcess(graph, source, branching, lazy=lazy)
+    series = []
+    for gen in spawn_generators(seed, runs):
+        res = proc.run(gen)
+        if not res.infected_all:
+            raise RuntimeError(f"BIPS hit the round cap on {graph.name}")
+        series.append(res.sizes.astype(np.float64))
+    return TrajectoryEnsemble(label=f"bips-sizes:{graph.name}", series=_align(series))
+
+
+def cobra_coverage_ensemble(
+    graph: Graph,
+    start: int = 0,
+    runs: int = 50,
+    *,
+    branching: BranchingPolicy | int | float = 2,
+    lazy: bool = False,
+    seed=0,
+) -> TrajectoryEnsemble:
+    """Ensemble of COBRA cumulative-coverage series ``|∪_{s<=t} C_s|``."""
+    proc = CobraProcess(graph, branching, lazy=lazy)
+    series = []
+    for gen in spawn_generators(seed, runs):
+        res = proc.run(start, gen, record=True)
+        if not res.covered:
+            raise RuntimeError(f"COBRA hit the round cap on {graph.name}")
+        series.append(res.visited_counts.astype(np.float64))
+    return TrajectoryEnsemble(
+        label=f"cobra-coverage:{graph.name}", series=_align(series)
+    )

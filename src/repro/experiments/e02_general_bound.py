@@ -1,0 +1,123 @@
+"""E2 / Table 2 — Theorem 1.1's general bound across irregular families.
+
+For each irregular family we sweep sizes, measure the COBRA (b = 2)
+w.h.p. cover time, and compare against ``m + dmax² log n``.  Shape
+criteria: the bound (with one modest global constant) dominates every
+measurement, and within each family the measured/bound ratio does not
+grow as ``n`` grows — i.e. the bound has at least the right growth
+order on these families.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..graphs.generators import (
+    barbell_graph,
+    binary_tree,
+    erdos_renyi_graph,
+    lollipop_graph,
+    path_graph,
+    star_graph,
+)
+from ..graphs.graph import Graph
+from ..stats.rng import spawn_seeds
+from ..theory.bounds import bound_spaa17_general
+from .config import ExperimentConfig
+from .runner import Check, ExperimentResult, measure_cover
+from .tables import Table
+
+EXPERIMENT_ID = "E2"
+TITLE = "General-graph bound O(m + dmax^2 log n) vs measured (Table 2)"
+
+#: Global calibration constant for the dominance check.  Theorem 1.1 is
+#: an O(·) statement; a single constant must work across all instances.
+DOMINANCE_CONSTANT = 8.0
+
+
+def _families(config: ExperimentConfig) -> list[tuple[str, list[Callable[[], Graph]]]]:
+    if config.scale == "smoke":
+        return [
+            ("path", [lambda: path_graph(32), lambda: path_graph(64)]),
+            ("star", [lambda: star_graph(32), lambda: star_graph(64)]),
+            ("barbell", [lambda: barbell_graph(6), lambda: barbell_graph(8)]),
+        ]
+    if config.scale == "quick":
+        return [
+            ("path", [lambda n=n: path_graph(n) for n in (64, 128, 256)]),
+            ("star", [lambda n=n: star_graph(n) for n in (64, 128, 256)]),
+            ("binary-tree", [lambda h=h: binary_tree(h) for h in (5, 6, 7)]),
+            ("barbell", [lambda k=k: barbell_graph(k) for k in (8, 12, 16)]),
+            ("lollipop", [lambda k=k: lollipop_graph(k, k) for k in (8, 12, 16)]),
+            (
+                "erdos-renyi",
+                [lambda n=n, s=s: erdos_renyi_graph(n, rng=s) for s, n in enumerate((64, 128, 256))],
+            ),
+        ]
+    return [
+        ("path", [lambda n=n: path_graph(n) for n in (64, 128, 256, 512, 1024)]),
+        ("star", [lambda n=n: star_graph(n) for n in (64, 128, 256, 512, 1024)]),
+        ("binary-tree", [lambda h=h: binary_tree(h) for h in (5, 6, 7, 8, 9)]),
+        ("barbell", [lambda k=k: barbell_graph(k) for k in (8, 12, 16, 24, 32)]),
+        ("lollipop", [lambda k=k: lollipop_graph(k, k) for k in (8, 12, 16, 24, 32)]),
+        (
+            "erdos-renyi",
+            [lambda n=n, s=s: erdos_renyi_graph(n, rng=s) for s, n in enumerate((64, 128, 256, 512))],
+        ),
+    ]
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Regenerate the general-bound dominance table."""
+    runs = config.runs(12, 60, 200)
+    families = _families(config)
+    total = sum(len(builders) for _, builders in families)
+    seeds = iter(spawn_seeds(config.seed, total))
+
+    table = Table(title="Theorem 1.1 dominance per instance")
+    checks: list[Check] = []
+    for family, builders in families:
+        ratios: list[float] = []
+        for build in builders:
+            g = build()
+            meas = measure_cover(g, runs=runs, seed=next(seeds))
+            bound = bound_spaa17_general(g.n, g.m, g.dmax)
+            ratio = meas.whp.value / bound
+            ratios.append(ratio)
+            table.add_row(
+                family=family,
+                graph=g.name,
+                n=g.n,
+                m=g.m,
+                dmax=g.dmax,
+                measured_whp=meas.whp.value,
+                bound=bound,
+                ratio=ratio,
+            )
+        dominated = all(r <= DOMINANCE_CONSTANT for r in ratios)
+        checks.append(
+            Check(
+                name=f"{family}: bound dominates (constant {DOMINANCE_CONSTANT:g})",
+                passed=dominated,
+                detail=f"max measured/bound ratio {max(ratios):.3f}",
+            )
+        )
+        shape_ok = ratios[-1] <= max(ratios[0] * 2.0, ratios[0] + 0.25)
+        checks.append(
+            Check(
+                name=f"{family}: ratio does not grow with n",
+                passed=shape_ok,
+                detail=f"ratio smallest->largest: {ratios[0]:.3f} -> {ratios[-1]:.3f}",
+            )
+        )
+    notes = [
+        "ratio = measured 95th-percentile cover time / (m + dmax^2 ln n); "
+        "Theorem 1.1 asserts this is O(1) per family",
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        tables=[table],
+        checks=checks,
+        notes=notes,
+    )

@@ -1,0 +1,87 @@
+"""E14 / Ablation 2 — diminishing returns of larger branching factors.
+
+The paper studies ``b = 2`` (and ``b = 1 + ρ < 2``); the natural
+question is what ``b > 2`` buys.  The information-theoretic floor is
+``log_b n`` early doubling plus the diameter, so going from 2 to 4
+can at best shave a factor ``log 4/log 2 = 2`` off the doubling phase
+— while doubling the per-vertex transmission budget.  This ablation
+measures cover time and total transmissions for b ∈ {1, 2, 3, 4}:
+the paper's choice b = 2 sits at the knee of the curve.
+"""
+
+from __future__ import annotations
+
+from ..core.metrics import cobra_transmission_report
+from ..graphs.generators import margulis_expander, random_regular_graph, torus_graph
+from ..stats.rng import spawn_seeds
+from .config import ExperimentConfig
+from .runner import Check, ExperimentResult
+from .tables import Table
+
+EXPERIMENT_ID = "E14"
+TITLE = "Ablation: branching factor b in {1, 2, 3, 4} — speed vs cost"
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Regenerate the branching-returns ablation."""
+    runs = config.runs(10, 40, 150)
+    graphs = config.pick(
+        [random_regular_graph(64, 3, rng=60)],
+        [
+            random_regular_graph(256, 3, rng=60),
+            margulis_expander(12),
+            torus_graph([15, 15]),
+        ],
+        [
+            random_regular_graph(1024, 3, rng=60),
+            margulis_expander(20),
+            torus_graph([31, 31]),
+        ],
+    )
+    bs = [1, 2, 3, 4]
+    seeds = iter(spawn_seeds(config.seed, len(graphs) * len(bs)))
+
+    table = Table(title="cover rounds and message cost per branching factor")
+    checks: list[Check] = []
+    for g in graphs:
+        rounds_by_b = {}
+        for b in bs:
+            rep = cobra_transmission_report(g, runs=runs, branching=b, rng=next(seeds))
+            rounds_by_b[b] = rep.rounds.value
+            table.add_row(
+                graph=g.name,
+                b=b,
+                mean_rounds=rep.rounds.value,
+                total_messages=rep.total_messages.value,
+                msgs_per_vertex=rep.messages_per_vertex.value,
+            )
+        gain_12 = rounds_by_b[1] / rounds_by_b[2]
+        gain_24 = rounds_by_b[2] / rounds_by_b[4]
+        checks.append(
+            Check(
+                name=f"{g.name}: rounds strictly decrease in b",
+                passed=rounds_by_b[1] > rounds_by_b[2] > rounds_by_b[4] * 0.95
+                and rounds_by_b[2] >= rounds_by_b[3] * 0.9,
+                detail=f"rounds: " + ", ".join(
+                    f"b={b}: {rounds_by_b[b]:.1f}" for b in bs
+                ),
+            )
+        )
+        checks.append(
+            Check(
+                name=f"{g.name}: diminishing returns (1->2 gain >> 2->4 gain)",
+                passed=gain_12 > 3.0 * gain_24,
+                detail=f"speedup 1->2: {gain_12:.1f}x, 2->4: {gain_24:.2f}x",
+            )
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        tables=[table],
+        checks=checks,
+        notes=[
+            "b = 1 -> 2 crosses the phase transition from Ω(n)-type walk "
+            "cover to polylog branching cover; b beyond 2 only compresses "
+            "the log-base, which is why the literature fixes b = 2",
+        ],
+    )

@@ -1,0 +1,85 @@
+"""Registry mapping experiment ids (E1..E12) to their modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from . import (
+    e01_hypercube_ladder,
+    e02_general_bound,
+    e03_regular_bound,
+    e04_duality,
+    e05_lemma31_schedule,
+    e06_growth_lemma,
+    e07_candidate_bound,
+    e08_branching_sweep,
+    e09_baselines,
+    e10_martingale,
+    e11_family_scaling,
+    e12_phase_schedule,
+    e13_lazy_ablation,
+    e14_branching_returns,
+    e15_worst_case_conjecture,
+)
+from .config import ExperimentConfig
+from .runner import ExperimentResult
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment."""
+
+    experiment_id: str
+    title: str
+    paper_anchor: str
+    run: Callable[[ExperimentConfig], ExperimentResult]
+
+
+_MODULES = [
+    (e01_hypercube_ladder, "Section 1 hypercube ladder: O(log^8/log^4/log^3 n)"),
+    (e02_general_bound, "Theorem 1.1: O(m + dmax^2 log n)"),
+    (e03_regular_bound, "Theorem 1.2: O((r/(1-lambda) + r^2) log n)"),
+    (e04_duality, "Theorem 1.3: COBRA-BIPS duality"),
+    (e05_lemma31_schedule, "Lemma 3.1 / Theorem 1.4: BIPS degree growth"),
+    (e06_growth_lemma, "Lemmas 4.1/4.2: one-round expected growth"),
+    (e07_candidate_bound, "Corollary 5.2: candidate-set size"),
+    (e08_branching_sweep, "Section 6: branching b = 1 + rho"),
+    (e09_baselines, "Section 1 motivation: COBRA vs baselines"),
+    (e10_martingale, "Lemma 2.1 / Corollary 2.2: concentration"),
+    (e11_family_scaling, "Section 1 cited claims: family scaling"),
+    (e12_phase_schedule, "Lemma 5.4 / Theorem 1.5: doubling phases"),
+    (e13_lazy_ablation, "Ablation: the cost of the lazy (bipartite) fix"),
+    (e14_branching_returns, "Ablation: branching factor b beyond 2"),
+    (e15_worst_case_conjecture, "Conclusions: the O(n log n) worst-case conjecture"),
+]
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    module.EXPERIMENT_ID: ExperimentSpec(
+        experiment_id=module.EXPERIMENT_ID,
+        title=module.TITLE,
+        paper_anchor=anchor,
+        run=module.run,
+    )
+    for module, anchor in _MODULES
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up an experiment by id (case-insensitive)."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key]
+
+
+def run_experiment(
+    experiment_id: str, config: ExperimentConfig | None = None
+) -> ExperimentResult:
+    """Run one experiment under the given (or default) config."""
+    spec = get_experiment(experiment_id)
+    return spec.run(config or ExperimentConfig())

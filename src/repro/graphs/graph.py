@@ -1,0 +1,338 @@
+"""Compressed-sparse-row (CSR) graph substrate.
+
+The simulators in :mod:`repro.core` spend essentially all of their time
+drawing uniformly random neighbours for batches of vertices.  A CSR
+adjacency layout makes that a three-instruction vectorised program::
+
+    offsets = indptr[vertices] + floor(uniform * degrees[vertices])
+    chosen  = indices[offsets]
+
+so the whole library is built on this small immutable :class:`Graph`
+class rather than on ``networkx`` objects (conversion helpers are
+provided for interoperability).
+
+All graphs are finite, simple (no self-loops, no parallel edges) and
+undirected; every edge ``{u, v}`` is stored twice, once in each
+direction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An immutable undirected simple graph in CSR form.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.  Vertices are the integers ``0 .. n-1``.
+    edges:
+        Iterable of ``(u, v)`` pairs with ``u != v``.  Duplicates (in
+        either orientation) are collapsed; self-loops raise
+        :class:`ValueError`.
+    name:
+        Optional human-readable label used in reports and tables.
+
+    Attributes
+    ----------
+    n : int
+        Vertex count.
+    m : int
+        Undirected edge count (each edge counted once).
+    indptr : numpy.ndarray
+        CSR row pointer of shape ``(n + 1,)``; the neighbours of vertex
+        ``u`` are ``indices[indptr[u]:indptr[u + 1]]``, sorted
+        ascending.
+    indices : numpy.ndarray
+        CSR column indices of shape ``(2 * m,)``.
+    degrees : numpy.ndarray
+        Per-vertex degree, ``degrees[u] == indptr[u + 1] - indptr[u]``.
+    """
+
+    __slots__ = ("n", "m", "indptr", "indices", "degrees", "name")
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[Tuple[int, int]],
+        *,
+        name: str = "graph",
+    ) -> None:
+        if n <= 0:
+            raise ValueError(f"graph needs at least one vertex, got n={n}")
+        edge_arr = np.asarray(list(edges), dtype=np.int64)
+        if edge_arr.size == 0:
+            edge_arr = edge_arr.reshape(0, 2)
+        if edge_arr.ndim != 2 or edge_arr.shape[1] != 2:
+            raise ValueError("edges must be an iterable of (u, v) pairs")
+        if edge_arr.size and (edge_arr.min() < 0 or edge_arr.max() >= n):
+            raise ValueError("edge endpoint out of range [0, n)")
+        if edge_arr.size and np.any(edge_arr[:, 0] == edge_arr[:, 1]):
+            raise ValueError("self-loops are not allowed")
+
+        # Canonicalise and deduplicate: sort each pair, unique rows.
+        if edge_arr.size:
+            lo = np.minimum(edge_arr[:, 0], edge_arr[:, 1])
+            hi = np.maximum(edge_arr[:, 0], edge_arr[:, 1])
+            key = lo * np.int64(n) + hi
+            _, keep = np.unique(key, return_index=True)
+            lo, hi = lo[keep], hi[keep]
+        else:
+            lo = hi = np.empty(0, dtype=np.int64)
+
+        m = int(lo.shape[0])
+        # Build symmetric CSR via counting sort on the doubled edge list.
+        src = np.concatenate([lo, hi])
+        dst = np.concatenate([hi, lo])
+        degrees = np.bincount(src, minlength=n).astype(np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        order = np.lexsort((dst, src))
+        indices = dst[order]
+
+        self.n: int = int(n)
+        self.m: int = m
+        self.indptr = indptr
+        self.indices = indices
+        self.degrees = degrees
+        self.name = name
+        for arr in (self.indptr, self.indices, self.degrees):
+            arr.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def neighbors(self, u: int) -> np.ndarray:
+        """Return the (read-only, sorted) neighbour array of vertex ``u``."""
+        return self.indices[self.indptr[u] : self.indptr[u + 1]]
+
+    def degree(self, u: int) -> int:
+        """Return the degree of vertex ``u``."""
+        return int(self.degrees[u])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return True iff ``{u, v}`` is an edge."""
+        nbrs = self.neighbors(u)
+        i = int(np.searchsorted(nbrs, v))
+        return i < nbrs.shape[0] and int(nbrs[i]) == v
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over edges once each, as ``(u, v)`` with ``u < v``."""
+        for u in range(self.n):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield (u, int(v))
+
+    def edge_array(self) -> np.ndarray:
+        """Return an ``(m, 2)`` array of edges with ``u < v`` per row."""
+        src = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees)
+        mask = src < self.indices
+        return np.column_stack([src[mask], self.indices[mask]])
+
+    @property
+    def dmax(self) -> int:
+        """Maximum vertex degree (``d_max`` in the paper)."""
+        return int(self.degrees.max()) if self.n else 0
+
+    @property
+    def dmin(self) -> int:
+        """Minimum vertex degree."""
+        return int(self.degrees.min()) if self.n else 0
+
+    def total_degree(self) -> int:
+        """Return ``d(V) = 2m``, the degree of the full vertex set."""
+        return 2 * self.m
+
+    def set_degree(self, vertices: Sequence[int] | np.ndarray) -> int:
+        """Return ``d(S) = sum of degrees over S`` (paper, Section 3)."""
+        idx = np.asarray(vertices, dtype=np.int64)
+        return int(self.degrees[idx].sum())
+
+    def is_regular(self) -> bool:
+        """Return True iff all vertices have equal degree."""
+        return self.n > 0 and self.dmax == self.dmin
+
+    # ------------------------------------------------------------------
+    # Random sampling (the simulator hot path)
+    # ------------------------------------------------------------------
+    def sample_neighbors(
+        self, vertices: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw one uniform random neighbour for each vertex in ``vertices``.
+
+        Fully vectorised: cost is O(len(vertices)) with no Python-level
+        loop.  Vertices may repeat; draws are independent.
+
+        Raises
+        ------
+        ValueError
+            If any requested vertex is isolated (degree zero).
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        degs = self.degrees[vertices]
+        if degs.size and int(degs.min()) == 0:
+            raise ValueError("cannot sample a neighbour of an isolated vertex")
+        # floor(u * d) is uniform on {0, .., d-1} for u ~ U[0, 1).
+        offsets = (rng.random(vertices.shape[0]) * degs).astype(np.int64)
+        return self.indices[self.indptr[vertices] + offsets]
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def adjacency_matrix(self):
+        """Return the adjacency matrix as a ``scipy.sparse.csr_matrix``."""
+        from scipy.sparse import csr_matrix
+
+        data = np.ones(self.indices.shape[0], dtype=np.float64)
+        return csr_matrix(
+            (data, self.indices.copy(), self.indptr.copy()), shape=(self.n, self.n)
+        )
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (for interop/validation)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        g.add_edges_from(self.edges())
+        return g
+
+    @classmethod
+    def from_networkx(cls, g, *, name: str | None = None) -> "Graph":
+        """Build a :class:`Graph` from a networkx graph.
+
+        Node labels are relabelled to ``0 .. n-1`` in sorted order (or
+        insertion order if labels are not sortable).
+        """
+        nodes = list(g.nodes())
+        try:
+            nodes = sorted(nodes)
+        except TypeError:
+            pass
+        index = {v: i for i, v in enumerate(nodes)}
+        edges = [(index[u], index[v]) for u, v in g.edges() if u != v]
+        return cls(len(nodes), edges, name=name or getattr(g, "name", "") or "graph")
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[int, int]], *, name: str = "graph") -> "Graph":
+        """Build a graph whose vertex count is ``1 + max endpoint``."""
+        edge_list = list(edges)
+        if not edge_list:
+            raise ValueError("from_edges requires at least one edge")
+        n = 1 + max(max(u, v) for u, v in edge_list)
+        return cls(n, edge_list, name=name)
+
+    # ------------------------------------------------------------------
+    # Structure queries used across the library
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """Return True iff the graph is connected (BFS from vertex 0)."""
+        return bool(self.bfs_distances(0).max(initial=0) < np.iinfo(np.int64).max)
+
+    def bfs_distances(self, source: int) -> np.ndarray:
+        """Return BFS hop distances from ``source``.
+
+        Unreachable vertices get ``np.iinfo(int64).max``.  Implemented as
+        a frontier-at-a-time vectorised BFS (one fancy-index per level).
+        """
+        unreachable = np.iinfo(np.int64).max
+        dist = np.full(self.n, unreachable, dtype=np.int64)
+        dist[source] = 0
+        frontier = np.array([source], dtype=np.int64)
+        level = 0
+        while frontier.size:
+            level += 1
+            # All out-neighbours of the frontier, then keep the unseen.
+            starts = self.indptr[frontier]
+            counts = self.degrees[frontier]
+            total = int(counts.sum())
+            if total == 0:
+                break
+            flat = np.repeat(starts, counts) + _ragged_arange(counts)
+            nxt = self.indices[flat]
+            nxt = nxt[dist[nxt] == unreachable]
+            if nxt.size == 0:
+                break
+            nxt = np.unique(nxt)
+            dist[nxt] = level
+            frontier = nxt
+        return dist
+
+    # ------------------------------------------------------------------
+    # Pickling (needed to ship graphs to worker processes)
+    # ------------------------------------------------------------------
+    @classmethod
+    def _from_csr(
+        cls,
+        n: int,
+        m: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        degrees: np.ndarray,
+        name: str,
+    ) -> "Graph":
+        """Reconstruct without re-canonicalising (trusted internal data)."""
+        g = cls.__new__(cls)
+        g.n = n
+        g.m = m
+        g.indptr = indptr
+        g.indices = indices
+        g.degrees = degrees
+        g.name = name
+        for arr in (g.indptr, g.indices, g.degrees):
+            arr.setflags(write=False)
+        return g
+
+    def __reduce__(self):
+        return (
+            Graph._from_csr,
+            (
+                self.n,
+                self.m,
+                self.indptr.copy(),
+                self.indices.copy(),
+                self.degrees.copy(),
+                self.name,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        reg = f", {self.dmax}-regular" if self.is_regular() else ""
+        return f"Graph(name={self.name!r}, n={self.n}, m={self.m}{reg})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self.m == other.m
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.m, self.indices.tobytes()))
+
+
+def _ragged_arange(counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(c)`` for each c in counts, vectorised.
+
+    E.g. counts=[2,0,3] -> [0,1,0,1,2].
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    starts = ends - counts
+    out = np.arange(total, dtype=np.int64)
+    out -= np.repeat(starts, counts)
+    return out

@@ -1,0 +1,68 @@
+"""Input-validation helpers shared by the process engines.
+
+The COBRA/BIPS engines require connected graphs (the paper's standing
+assumption) and non-bipartite spectra for the eigenvalue-gap bounds;
+these checks centralise the error messages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+from .properties import is_bipartite
+
+__all__ = [
+    "require_connected",
+    "require_regular",
+    "require_nonbipartite_or_lazy",
+    "check_vertex",
+    "check_vertex_set",
+]
+
+
+def require_connected(graph: Graph) -> None:
+    """Raise ``ValueError`` if the graph is disconnected.
+
+    Both processes are only defined (and their cover/infection times
+    finite) on connected graphs.
+    """
+    if not graph.is_connected():
+        raise ValueError(
+            f"{graph.name}: COBRA/BIPS require a connected graph "
+            "(cover time is infinite otherwise)"
+        )
+
+
+def require_regular(graph: Graph) -> int:
+    """Raise unless the graph is regular; return the common degree ``r``."""
+    if not graph.is_regular():
+        raise ValueError(f"{graph.name}: expected a regular graph")
+    return graph.dmax
+
+
+def require_nonbipartite_or_lazy(graph: Graph, *, lazy: bool) -> None:
+    """Theorem 1.2 needs ``1 - λ > 0``: non-bipartite, or the lazy walk."""
+    if not lazy and is_bipartite(graph):
+        raise ValueError(
+            f"{graph.name}: bipartite graph has eigenvalue gap 0; "
+            "use the lazy process variant (lazy=True) as the paper suggests"
+        )
+
+
+def check_vertex(graph: Graph, u: int) -> int:
+    """Validate a single vertex id and return it as ``int``."""
+    u = int(u)
+    if not 0 <= u < graph.n:
+        raise ValueError(f"vertex {u} out of range [0, {graph.n})")
+    return u
+
+
+def check_vertex_set(graph: Graph, vertices) -> np.ndarray:
+    """Validate a nonempty vertex set; return a sorted unique int64 array."""
+    arr = np.unique(np.asarray(list(vertices), dtype=np.int64))
+    if arr.size == 0:
+        raise ValueError("vertex set must be nonempty")
+    if arr[0] < 0 or arr[-1] >= graph.n:
+        raise ValueError(f"vertex set out of range [0, {graph.n})")
+    return arr

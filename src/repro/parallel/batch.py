@@ -1,0 +1,52 @@
+"""Memory-bounded batching for the vectorised multi-run engines.
+
+The batch engines hold ``(R, n)`` boolean state; for large graphs the
+number of simultaneous runs must be capped.  ``plan_batches`` splits a
+trial budget into batch sizes under a byte budget, and ``run_batched``
+drives a sampler batch-by-batch, concatenating results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["plan_batches", "run_batched", "DEFAULT_STATE_BUDGET_BYTES"]
+
+#: Default cap on per-batch boolean state: 256 MiB across the ~4 (R, n)
+#: arrays the engines keep live.
+DEFAULT_STATE_BUDGET_BYTES = 256 * 1024 * 1024
+
+
+def plan_batches(
+    total_runs: int,
+    n_vertices: int,
+    *,
+    state_arrays: int = 4,
+    budget_bytes: int = DEFAULT_STATE_BUDGET_BYTES,
+    max_batch: int = 4096,
+) -> list[int]:
+    """Split ``total_runs`` into batch sizes fitting the memory budget.
+
+    Each run costs ``state_arrays * n_vertices`` bytes of boolean state.
+    """
+    if total_runs < 1:
+        raise ValueError("need at least one run")
+    if n_vertices < 1:
+        raise ValueError("need at least one vertex")
+    per_run = state_arrays * n_vertices
+    cap = max(1, min(max_batch, budget_bytes // per_run))
+    full, rem = divmod(total_runs, cap)
+    return [cap] * full + ([rem] if rem else [])
+
+
+def run_batched(
+    sampler: Callable[[int], np.ndarray],
+    total_runs: int,
+    n_vertices: int,
+    **plan_kwargs,
+) -> np.ndarray:
+    """Drive ``sampler(batch_size) -> samples`` across planned batches."""
+    parts = [sampler(b) for b in plan_batches(total_runs, n_vertices, **plan_kwargs)]
+    return np.concatenate(parts)

@@ -1,0 +1,61 @@
+"""Process-pool trial execution (the sweep-level parallel substrate).
+
+Per the hpc-parallel guides: the inner loops are already vectorised, so
+the remaining parallelism is *across* independent trials/parameter
+points.  ``parallel_map`` distributes picklable task descriptions over
+a ``multiprocessing`` pool with chunked scheduling and falls back to
+serial execution for ``n_workers <= 1`` (or when the platform forbids
+forking) so results never depend on the execution mode.
+
+Determinism contract: tasks must carry their own spawned seeds (see
+:mod:`repro.stats.rng`); the pool itself introduces no randomness and
+preserves input order in its output.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["parallel_map", "default_workers"]
+
+
+def default_workers() -> int:
+    """A conservative worker count: ``min(cpu_count, 8)``, at least 1."""
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+    return max(1, min(cpus, 8))
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    n_workers: int | None = None,
+    chunk_size: int | None = None,
+) -> list[R]:
+    """Apply ``fn`` to each item, optionally across worker processes.
+
+    Preserves input order.  ``fn`` and every item must be picklable when
+    ``n_workers > 1``.  ``chunk_size`` defaults to a value that gives
+    each worker a handful of chunks (amortising IPC without starving the
+    pool).
+    """
+    items = list(items)
+    if not items:
+        return []
+    workers = default_workers() if n_workers is None else int(n_workers)
+    if workers <= 1 or len(items) == 1:
+        return [fn(item) for item in items]
+    workers = min(workers, len(items))
+    if chunk_size is None:
+        chunk_size = max(1, len(items) // (workers * 4))
+    ctx = mp.get_context("spawn" if os.name == "nt" else "fork")
+    with ctx.Pool(processes=workers) as pool:
+        return pool.map(fn, items, chunksize=chunk_size)

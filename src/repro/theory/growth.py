@@ -1,0 +1,123 @@
+"""Growth lemmas for BIPS on regular graphs (Sections 4 and 5).
+
+* Lemma 4.1 (b = 2):    ``E[|A_{t+1}|] >= |A|(1 + (1−λ²)(1 − |A|/n))``
+* Lemma 4.2 (b = 1+ρ):  ``E[|A_{t+1}|] >= |A|(1 + ρ(1−λ²)(1 − |A|/n))``
+* Corollary 5.2:        ``|C_t| >= |A_{t−1}|(1−λ)/2`` when ``|A_{t−1}| <= n/2``
+  (as a bound on the conditional expectation E|B_rand|, which |C| dominates)
+* Lemma 5.4's doubling schedule: ``κ_i = 2^i κ_0``, ``t_i = t_0 + 16 i r/(1−λ)``.
+
+The evaluators below are consumed by experiments E6, E7 and E12 and by
+the property-test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "lemma41_growth_bound",
+    "lemma42_growth_bound",
+    "cor52_candidate_bound",
+    "PhaseSchedule",
+    "lemma54_schedule",
+    "expected_growth_curve",
+]
+
+
+def lemma41_growth_bound(size: float, n: int, lam: float) -> float:
+    """Lemma 4.1 RHS: expected next infected size for ``b = 2``."""
+    if not 0.0 <= lam < 1.0:
+        raise ValueError("need 0 <= lambda < 1")
+    if not 0 <= size <= n:
+        raise ValueError("infected size out of range")
+    return size * (1.0 + (1.0 - lam**2) * (1.0 - size / n))
+
+
+def lemma42_growth_bound(size: float, n: int, lam: float, rho: float) -> float:
+    """Lemma 4.2 RHS: expected next infected size for ``b = 1 + ρ``."""
+    if not 0.0 < rho <= 1.0:
+        raise ValueError("rho must be in (0, 1]")
+    if not 0.0 <= lam < 1.0:
+        raise ValueError("need 0 <= lambda < 1")
+    return size * (1.0 + rho * (1.0 - lam**2) * (1.0 - size / n))
+
+
+def cor52_candidate_bound(prev_size: float, n: int, lam: float) -> float:
+    """Corollary 5.2 RHS: ``|A_{t−1}|(1−λ)/2``, valid when ``|A_{t−1}| <= n/2``."""
+    if prev_size > n / 2:
+        raise ValueError("Corollary 5.2 requires |A| <= n/2")
+    return prev_size * (1.0 - lam) / 2.0
+
+
+@dataclass(frozen=True)
+class PhaseSchedule:
+    """Lemma 5.4's doubling schedule for a given regular graph.
+
+    Phase ``i`` targets infection size ``kappas[i]`` by round
+    ``rounds[i]``; the final target is ``>= n/4``.
+    """
+
+    n: int
+    r: int
+    gap: float
+    kappa0: float
+    t0: float
+    kappas: np.ndarray
+    rounds: np.ndarray
+
+    @property
+    def total_rounds(self) -> float:
+        """The schedule's endpoint ``t_j = O(r (1/(1−λ) + r) log n)``."""
+        return float(self.rounds[-1])
+
+
+def lemma54_schedule(
+    n: int, r: int, gap: float, *, c_prime: float = 1.0
+) -> PhaseSchedule:
+    """Build Lemma 5.4's doubling schedule.
+
+    ``κ_0 = min{1/(1−λ) + (C′ r/4) log n, n}``, ``t_0 = 8 r κ_0``, then
+    ``κ_i = 2^i κ_0`` and ``t_i = t_0 + 16 i r/(1−λ)`` until
+    ``κ_j ∈ [n/4, n/2)``.
+    """
+    if gap <= 0:
+        raise ValueError("need a positive eigenvalue gap")
+    log_n = max(1.0, math.log(n))
+    kappa0 = min(1.0 / gap + (c_prime * r / 4.0) * log_n, float(n))
+    t0 = 8.0 * r * kappa0
+    kappas = [kappa0]
+    rounds = [t0]
+    i = 0
+    while kappas[-1] < n / 4.0:
+        i += 1
+        kappas.append(2.0**i * kappa0)
+        rounds.append(t0 + 16.0 * i * r / gap)
+    return PhaseSchedule(
+        n=n,
+        r=r,
+        gap=gap,
+        kappa0=kappa0,
+        t0=t0,
+        kappas=np.asarray(kappas, dtype=np.float64),
+        rounds=np.asarray(rounds, dtype=np.float64),
+    )
+
+
+def expected_growth_curve(
+    n: int, lam: float, *, rho: float = 1.0, start: float = 1.0, t_max: int = 200
+) -> np.ndarray:
+    """Iterate the Lemma 4.1/4.2 lower bound as a deterministic recursion.
+
+    Gives the *pessimistic* growth trajectory the lemmas guarantee in
+    expectation; the measured mean-size curve should dominate it.
+    Values are capped at ``n``.
+    """
+    sizes = np.empty(t_max + 1, dtype=np.float64)
+    sizes[0] = start
+    for t in range(t_max):
+        nxt = lemma42_growth_bound(sizes[t], n, lam, rho)
+        sizes[t + 1] = min(nxt, float(n))
+    return sizes

@@ -1,0 +1,121 @@
+"""Mean-field (complete-graph) predictors for COBRA and BIPS.
+
+On ``K_n`` the two processes admit clean occupancy recursions that are
+exact in expectation conditioned on the current size:
+
+* **COBRA**: given ``|C_t| = k``, each of the ``2k`` pushed particles
+  lands on a uniform vertex among the ``n − 1`` non-senders... each
+  *vertex* is chosen by a particular sender with probability
+  ``1/(n−1)`` per selection, so
+
+      ``E|C_{t+1}|  =  Σ_u P(u chosen)  =  n·(1 − (1 − 1/(n−1))^{2k})``
+      (up to the O(1/n) correction that senders cannot choose themselves).
+
+* **BIPS**: given ``|A_t| = a``, a non-source vertex picks two uniform
+  neighbours; on ``K_n`` each pick is infected w.p. ``≈ a/(n−1)`` (one
+  must subtract the vertex itself from its neighbourhood), so
+
+      ``E|A_{t+1}| = 1 + Σ_{u≠v} (1 − (1 − a_u/(n−1))²)``,
+
+  which at mean-field level is the logistic-like map
+  ``x ↦ 1 − (1 − x)²`` on the infected fraction.
+
+These give the ``O(log n)`` complete-graph trajectories the paper cites
+from [Dutta et al.] and sharp sanity targets for the simulators.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "cobra_complete_expected_next",
+    "cobra_complete_meanfield_trajectory",
+    "bips_complete_expected_next",
+    "bips_complete_meanfield_trajectory",
+    "meanfield_rounds_to_cover",
+]
+
+
+def cobra_complete_expected_next(k: float, n: int, *, b: int = 2) -> float:
+    """``E|C_{t+1}|`` on ``K_n`` given ``|C_t| = k`` (occupancy bound).
+
+    Every vertex ``u`` fails to be chosen iff all ``b·k`` selections
+    miss it; a selection by an active vertex ``w ≠ u`` hits ``u`` w.p.
+    ``1/(n−1)``.  Ignoring the self-exclusion correction for active
+    ``u`` (an O(k/n²) effect) gives
+
+        ``E|C_{t+1}| = n (1 − (1 − 1/(n−1))^{b k})``.
+    """
+    if not 0 <= k <= n:
+        raise ValueError("active size out of range")
+    return n * (1.0 - (1.0 - 1.0 / (n - 1)) ** (b * k))
+
+
+def cobra_complete_meanfield_trajectory(
+    n: int, *, b: int = 2, start: float = 1.0, t_max: int = 100
+) -> np.ndarray:
+    """Iterate the occupancy map from ``|C_0| = start``.
+
+    Early rounds double (the branching-dominated phase); the trajectory
+    then saturates at the fixed point ``k* ≈ n(1 − e^{−b k*/n})``
+    (≈ 0.797 n for b = 2).
+    """
+    out = np.empty(t_max + 1)
+    out[0] = start
+    for t in range(t_max):
+        out[t + 1] = cobra_complete_expected_next(out[t], n, b=b)
+    return out
+
+
+def bips_complete_expected_next(a: float, n: int, *, rho: float = 1.0) -> float:
+    """``E|A_{t+1}|`` on ``K_n`` given ``|A_t| = a`` (source included).
+
+    A non-source vertex ``u`` sees ``a − [u ∈ A]`` infected vertices
+    among its ``n − 1`` neighbours; at mean-field level we use the
+    uninfected-vertex rate ``p = a/(n−1)`` for all ``n − 1`` non-source
+    vertices, with the second selection taken w.p. ρ:
+
+        ``E|A_{t+1}| = 1 + (n−1)(1 − (1 − p)(1 − ρ p))``.
+    """
+    if not 1 <= a <= n:
+        raise ValueError("infected size out of range (source always infected)")
+    p = min(1.0, a / (n - 1))
+    return 1.0 + (n - 1) * (1.0 - (1.0 - p) * (1.0 - rho * p))
+
+
+def bips_complete_meanfield_trajectory(
+    n: int, *, rho: float = 1.0, t_max: int = 100
+) -> np.ndarray:
+    """Iterate the BIPS mean-field map from ``|A_0| = 1``."""
+    out = np.empty(t_max + 1)
+    out[0] = 1.0
+    for t in range(t_max):
+        out[t + 1] = bips_complete_expected_next(out[t], n, rho=rho)
+    return out
+
+
+def meanfield_rounds_to_cover(n: int, *, b: int = 2, fraction: float = 0.99) -> int:
+    """Rounds until the mean-field *cumulative coverage* reaches ``fraction·n``.
+
+    Tracks both the active-set size ``k_t`` (the occupancy map) and the
+    expected covered count: an uncovered vertex stays uncovered through
+    one round w.p. ``(1 − 1/(n−1))^{b k_t}``.  Θ(log n) for b = 2 — the
+    complete-graph claim of [Dutta et al., SPAA'13]: doubling up to
+    ~n/2 takes ``log₂ n`` rounds, then the per-round survival factor is
+    a constant < 1, so the tail drains geometrically.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must be in (0, 1)")
+    k = 1.0
+    uncovered = float(n - 1)
+    target_uncovered = (1.0 - fraction) * n
+    for t in range(100 * int(math.log2(max(n, 2))) + 400):
+        if uncovered <= target_uncovered:
+            return t
+        survive = (1.0 - 1.0 / (n - 1)) ** (b * k)
+        uncovered *= survive
+        k = cobra_complete_expected_next(k, n, b=b)
+    raise RuntimeError("mean-field trajectory failed to reach the target")

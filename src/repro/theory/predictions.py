@@ -1,0 +1,113 @@
+"""Per-family asymptotic predictions used by the scaling experiments.
+
+Bundles, for each graph family the experiments sweep, the paper's (or
+the literature's) predicted cover-time growth and which bound applies —
+so E1/E2/E3/E11 can ask one place "what should the exponent be?".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["FamilyPrediction", "PREDICTIONS", "prediction_for"]
+
+
+@dataclass(frozen=True)
+class FamilyPrediction:
+    """Expected scaling of COBRA (b = 2) cover time for one graph family.
+
+    ``power_of_n``: predicted exponent ``c`` in ``T = Θ(n^c · polylog)``.
+    ``polylog_only``: True when the prediction is purely polylogarithmic
+    (then ``power_of_n == 0`` and ``log_power`` gives the predicted
+    power of ``log n``, or a best-known upper bound on it).
+    ``source``: which paper/bound the prediction comes from.
+    """
+
+    family: str
+    power_of_n: float
+    log_power: float
+    polylog_only: bool
+    source: str
+
+    def predicted_value(self, n: int, *, constant: float = 1.0) -> float:
+        """Evaluate ``constant · n^c (ln n)^p`` at ``n``."""
+        return constant * n**self.power_of_n * max(1.0, math.log(n)) ** self.log_power
+
+
+PREDICTIONS: dict[str, FamilyPrediction] = {
+    "complete": FamilyPrediction(
+        family="complete",
+        power_of_n=0.0,
+        log_power=1.0,
+        polylog_only=True,
+        source="Dutta et al. SPAA'13: O(log n) w.h.p. on K_n",
+    ),
+    "random-regular": FamilyPrediction(
+        family="random-regular",
+        power_of_n=0.0,
+        log_power=1.0,
+        polylog_only=True,
+        source="Cooper et al. PODC'16 / this paper: O(log n) on expanders",
+    ),
+    "margulis": FamilyPrediction(
+        family="margulis",
+        power_of_n=0.0,
+        log_power=2.0,
+        polylog_only=True,
+        source="Dutta et al. SPAA'13: O(log^2 n) on const-degree expanders "
+        "(improved to O(log n) by PODC'16)",
+    ),
+    "hypercube": FamilyPrediction(
+        family="hypercube",
+        power_of_n=0.0,
+        log_power=3.0,
+        polylog_only=True,
+        source="this paper: O(log^3 n); conjectured Θ(log n)",
+    ),
+    "torus-2d": FamilyPrediction(
+        family="torus-2d",
+        power_of_n=0.5,
+        log_power=0.0,
+        polylog_only=False,
+        source="Dutta et al. / Mitzenmacher et al.: Θ~(n^(1/2)) for D = 2",
+    ),
+    "torus-3d": FamilyPrediction(
+        family="torus-3d",
+        power_of_n=1.0 / 3.0,
+        log_power=0.0,
+        polylog_only=False,
+        source="Dutta et al. / Mitzenmacher et al.: Θ~(n^(1/3)) for D = 3",
+    ),
+    "cycle": FamilyPrediction(
+        family="cycle",
+        power_of_n=1.0,
+        log_power=0.0,
+        polylog_only=False,
+        source="D = 1 grid: Θ~(n); Theorem 1.1 gives O(m + log n) = O(n)",
+    ),
+    "path": FamilyPrediction(
+        family="path",
+        power_of_n=1.0,
+        log_power=0.0,
+        polylog_only=False,
+        source="diameter lower bound n − 1; Theorem 1.1 gives O(n)",
+    ),
+    "barbell": FamilyPrediction(
+        family="barbell",
+        power_of_n=2.0,
+        log_power=0.0,
+        polylog_only=False,
+        source="m = Θ(n²): Theorem 1.1's O(m + dmax² log n) regime",
+    ),
+}
+
+
+def prediction_for(family: str) -> FamilyPrediction:
+    """Look up a family's prediction; raises ``KeyError`` with the options."""
+    try:
+        return PREDICTIONS[family]
+    except KeyError:
+        raise KeyError(
+            f"no prediction for family {family!r}; known: {sorted(PREDICTIONS)}"
+        ) from None

@@ -1,0 +1,75 @@
+"""ASCII chart tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_line_chart, render_ensemble
+from repro.core import bips_size_ensemble
+from repro.graphs import cycle_graph
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        xs = np.arange(10)
+        out = ascii_line_chart(xs, {"linear": xs.astype(float)}, width=40, height=8)
+        lines = out.splitlines()
+        assert len(lines) == 8 + 3  # grid + axis + xlabels + legend
+        assert "* linear" in lines[-1]
+        assert "*" in out
+
+    def test_values_scaled_to_extremes(self):
+        xs = np.arange(5)
+        ys = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        out = ascii_line_chart(xs, {"y": ys}, width=20, height=5)
+        top_row = out.splitlines()[0]
+        bottom_row = out.splitlines()[4]
+        assert top_row.strip().startswith("4.00")
+        assert "*" in top_row and "*" in bottom_row
+
+    def test_constant_curve_no_crash(self):
+        xs = np.arange(6)
+        out = ascii_line_chart(xs, {"flat": np.full(6, 3.0)})
+        assert "*" in out
+
+    def test_multiple_curves_distinct_markers(self):
+        xs = np.arange(8).astype(float)
+        out = ascii_line_chart(xs, {"a": xs, "b": xs[::-1].astype(float)})
+        assert "* a" in out and ". b" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([1.0], {"y": np.array([1.0])})
+        with pytest.raises(ValueError):
+            ascii_line_chart([1.0, 2.0], {"y": np.array([1.0])})
+        xs = np.arange(4).astype(float)
+        too_many = {f"c{i}": xs for i in range(9)}
+        with pytest.raises(ValueError):
+            ascii_line_chart(xs, too_many)
+
+
+class TestRenderEnsemble:
+    def test_contains_label_and_band(self):
+        ens = bips_size_ensemble(cycle_graph(9), runs=15, seed=1)
+        out = render_ensemble(ens)
+        assert "bips-sizes:cycle-9" in out
+        assert "q95" in out and "q05" in out and "mean" in out
+
+
+class TestTrajectoryCli:
+    def test_bips_chart(self, capsys):
+        from repro.cli import main
+
+        assert main(["trajectory", "cycle-9", "--runs", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "bips-sizes" in out
+
+    def test_cobra_chart(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                ["trajectory", "complete-12", "--process", "cobra", "--runs", "8"]
+            )
+            == 0
+        )
+        assert "cobra-coverage" in capsys.readouterr().out

@@ -1,0 +1,53 @@
+"""Worst-case search tests."""
+
+import pytest
+
+from repro.analysis import normalized_cover, worst_case_search
+from repro.graphs import barbell_graph, complete_graph, path_graph
+
+
+class TestObjective:
+    def test_normalized_cover_positive(self):
+        assert normalized_cover(complete_graph(16), runs=10, rng=1) > 0
+
+    def test_known_families_below_one(self):
+        # Known adversarial families sit well below ratio 1.
+        for g in (path_graph(64), barbell_graph(8)):
+            assert normalized_cover(g, runs=12, rng=2) < 1.5
+
+
+class TestSearch:
+    def test_search_improves_or_holds(self):
+        res = worst_case_search(10, steps=30, runs_per_eval=8, seed=3)
+        assert res.best_graph.is_connected()
+        assert res.best_graph.n == 10
+        assert res.steps_taken == 30
+        # Hill-climb never ends below a fair re-estimate of the start;
+        # allow MC noise.
+        assert res.best_objective > 0.3 * res.initial_objective
+
+    def test_search_does_not_strain_conjecture(self):
+        # The headline scientific observation: local search cannot push
+        # the ratio anywhere near super-logarithmic territory.
+        res = worst_case_search(12, steps=50, runs_per_eval=8, seed=4)
+        assert not res.conjecture_strained
+        assert res.best_objective < 2.0
+
+    def test_seeded_determinism(self):
+        a = worst_case_search(8, steps=15, runs_per_eval=6, seed=5)
+        b = worst_case_search(8, steps=15, runs_per_eval=6, seed=5)
+        assert a.best_graph == b.best_graph
+        assert a.best_objective == b.best_objective
+
+    def test_initial_graph_accepted(self):
+        init = barbell_graph(5)
+        res = worst_case_search(
+            10, steps=10, runs_per_eval=6, seed=6, initial=init
+        )
+        assert res.best_graph.n == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            worst_case_search(3)
+        with pytest.raises(ValueError):
+            worst_case_search(10, initial=path_graph(5))

@@ -1,0 +1,57 @@
+"""Pull and push-pull gossip tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    pull_broadcast_samples,
+    pull_broadcast_time,
+    push_broadcast_samples,
+    push_pull_broadcast_time,
+)
+from repro.graphs import complete_graph, cycle_graph, path_graph, star_graph
+
+
+class TestPull:
+    def test_informs_everyone(self):
+        t = pull_broadcast_time(complete_graph(32), rng=1)
+        assert 4 <= t <= 60
+
+    def test_star_pull_is_fast_from_hub(self):
+        # Every leaf pulls from the hub (its only neighbour): 1 round.
+        assert pull_broadcast_time(star_graph(16), 0, rng=2) == 1
+
+    def test_star_pull_from_leaf(self):
+        # Hub pulls from a uniform leaf: E[rounds to learn] = n - 1;
+        # then one more round informs all other leaves.
+        t = pull_broadcast_time(star_graph(8), 1, rng=3)
+        assert t >= 2
+
+    def test_samples(self):
+        s = pull_broadcast_samples(cycle_graph(16), runs=5, rng=4)
+        assert s.shape == (5,)
+        assert np.all(s >= 8)  # frontier moves <= 1 per side per round
+
+    def test_cap(self):
+        with pytest.raises(RuntimeError, match="pull failed"):
+            pull_broadcast_time(cycle_graph(64), rng=1, max_rounds=3)
+
+
+class TestPushPull:
+    def test_informs_everyone(self):
+        t = push_pull_broadcast_time(complete_graph(64), rng=5)
+        assert 3 <= t <= 30
+
+    def test_faster_than_push_alone_on_star(self):
+        # Push from hub wastes rounds informing one leaf at a time;
+        # push-pull lets all leaves pull: dramatic difference.
+        g = star_graph(64)
+        pp = np.mean(
+            [push_pull_broadcast_time(g, 0, rng=10 + i) for i in range(10)]
+        )
+        p = np.mean(push_broadcast_samples(g, 0, runs=10, rng=6))
+        assert pp * 5 < p
+
+    def test_cap(self):
+        with pytest.raises(RuntimeError, match="push-pull failed"):
+            push_pull_broadcast_time(path_graph(64), rng=1, max_rounds=2)

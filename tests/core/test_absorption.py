@@ -1,0 +1,88 @@
+"""Absorption-rate and mixing-time tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import bips_absorption_rate, bips_exact
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    mixing_time_bound,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+
+
+class TestAbsorptionRate:
+    def test_matches_exact_tail_ratio(self):
+        # P(infec > t) ~ gamma^t: consecutive survival ratios converge
+        # to the spectral radius of the transient block.  The ratio
+        # window must sit where survival is small but far above float
+        # underflow.
+        for g, source in ((path_graph(5), 0), (cycle_graph(5), 0), (star_graph(5), 2)):
+            gamma = bips_absorption_rate(g, source)
+            surv = bips_exact(g, source, t_max=120).survival()
+            usable = np.nonzero(surv > 1e-10)[0]
+            hi = int(usable[-1])
+            lo = max(hi - 15, 5)
+            tail = surv[lo + 1 : hi + 1] / surv[lo:hi]
+            assert np.allclose(tail.mean(), gamma, atol=0.02), g.name
+
+    def test_deterministic_completion_has_rate_zero(self):
+        # Star with the hub as source: every leaf's only neighbour is
+        # the (always infected) hub, so infection completes in exactly
+        # one round and the transient block is nilpotent.
+        assert bips_absorption_rate(star_graph(5), 0) == pytest.approx(0.0)
+
+    def test_rate_in_unit_interval(self):
+        gamma = bips_absorption_rate(complete_graph(6), 0)
+        assert 0.0 < gamma < 1.0
+
+    def test_faster_policy_smaller_rate(self):
+        g = cycle_graph(7)
+        g2 = bips_absorption_rate(g, 0, branching=2)
+        g1 = bips_absorption_rate(g, 0, branching=1)
+        assert g2 < g1  # b=2 drains the tail faster
+
+    def test_single_vertex(self):
+        from repro.graphs import Graph
+
+        assert bips_absorption_rate(Graph(1, []), 0) == 0.0
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError, match="limited"):
+            bips_absorption_rate(cycle_graph(12), 0)
+
+    def test_expected_time_scale_consistent(self):
+        # E[infec] >= tail-rate heuristic 1/(1 - gamma) is not exact,
+        # but the two must be on the same scale for a tiny graph.
+        g = path_graph(5)
+        gamma = bips_absorption_rate(g, 0)
+        surv = bips_exact(g, 0, t_max=300).survival()
+        mean = float(surv.sum())
+        assert 0.2 / (1 - gamma) < mean < 10 / (1 - gamma)
+
+
+class TestMixingTimeBound:
+    def test_formula(self):
+        g = petersen_graph()
+        # gap = 1/3 -> ln(10/0.25) * 3.
+        assert mixing_time_bound(g) == pytest.approx(np.log(40) * 3, rel=1e-9)
+
+    def test_epsilon_validated(self):
+        with pytest.raises(ValueError):
+            mixing_time_bound(petersen_graph(), epsilon=0.0)
+
+    def test_bipartite_requires_lazy(self):
+        g = cycle_graph(8)
+        with pytest.raises(ValueError, match="lazy"):
+            mixing_time_bound(g)
+        assert mixing_time_bound(g, lazy=True) > 0
+
+    def test_expander_mixes_fast(self):
+        from repro.graphs import random_regular_graph
+
+        fast = mixing_time_bound(random_regular_graph(128, 8, rng=1))
+        slow = mixing_time_bound(cycle_graph(129))
+        assert fast * 10 < slow

@@ -1,0 +1,65 @@
+"""Branching policy tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import BernoulliBranching, FixedBranching, make_policy
+
+
+class TestFixedBranching:
+    def test_counts_constant(self, rng):
+        pol = FixedBranching(3)
+        counts = pol.draw_counts(10, rng)
+        assert counts.tolist() == [3] * 10
+
+    def test_expected_and_max(self):
+        pol = FixedBranching(2)
+        assert pol.expected_branching == 2.0
+        assert pol.max_branching == 2
+
+    def test_second_selection_probability(self):
+        assert FixedBranching(1).second_selection_probability() == 0.0
+        assert FixedBranching(2).second_selection_probability() == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FixedBranching(0)
+
+
+class TestBernoulliBranching:
+    def test_counts_in_range(self, rng):
+        pol = BernoulliBranching(0.5)
+        counts = pol.draw_counts(1000, rng)
+        assert set(counts.tolist()) <= {1, 2}
+
+    def test_mean_matches_rho(self, rng):
+        pol = BernoulliBranching(0.3)
+        counts = pol.draw_counts(20000, rng)
+        assert counts.mean() == pytest.approx(1.3, abs=0.02)
+        assert pol.expected_branching == pytest.approx(1.3)
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError):
+            BernoulliBranching(0.0)
+        with pytest.raises(ValueError):
+            BernoulliBranching(1.5)
+
+
+class TestMakePolicy:
+    def test_int_coercion(self):
+        assert make_policy(2) == FixedBranching(2)
+        assert make_policy(np.int64(4)) == FixedBranching(4)
+
+    def test_float_coercion(self):
+        assert make_policy(1.5) == BernoulliBranching(0.5)
+        assert make_policy(2.0) == FixedBranching(2)
+
+    def test_policy_passthrough(self):
+        pol = BernoulliBranching(0.25)
+        assert make_policy(pol) is pol
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            make_policy(2.5)
+        with pytest.raises(TypeError):
+            make_policy("two")

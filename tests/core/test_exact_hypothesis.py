@@ -1,0 +1,91 @@
+"""Property-based tests for the exact subset-chain engines."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    bips_exact,
+    cobra_hit_survival_exact,
+    verify_duality_exact,
+)
+from repro.graphs import Graph
+
+
+@st.composite
+def tiny_connected_graphs(draw, min_n: int = 2, max_n: int = 6):
+    """Random connected graphs small enough for the exact engines."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    edges = set()
+    for v in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=v - 1))
+        edges.add((parent, v))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    extra = draw(st.lists(st.sampled_from(possible), max_size=8))
+    edges.update(extra)
+    return Graph(n, sorted(edges))
+
+
+@given(tiny_connected_graphs(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_bips_exact_is_a_distribution(g, data):
+    source = data.draw(st.integers(min_value=0, max_value=g.n - 1))
+    ex = bips_exact(g, source, t_max=8)
+    assert np.allclose(ex.dists.sum(axis=1), 1.0, atol=1e-12)
+    assert np.all(ex.dists >= -1e-15)
+
+
+@given(tiny_connected_graphs(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_bips_exact_survival_monotone(g, data):
+    source = data.draw(st.integers(min_value=0, max_value=g.n - 1))
+    surv = bips_exact(g, source, t_max=10).survival()
+    assert surv[0] <= 1.0 + 1e-12
+    assert np.all(np.diff(surv) <= 1e-12)
+
+
+@given(tiny_connected_graphs(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_bips_expected_size_bounds(g, data):
+    source = data.draw(st.integers(min_value=0, max_value=g.n - 1))
+    ex = bips_exact(g, source, t_max=8)
+    for t in range(9):
+        size = ex.expected_size(t)
+        assert 1.0 - 1e-9 <= size <= g.n + 1e-9
+
+
+@given(tiny_connected_graphs(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_cobra_hit_survival_monotone_and_bounded(g, data):
+    start = data.draw(st.integers(min_value=0, max_value=g.n - 1))
+    target = data.draw(st.integers(min_value=0, max_value=g.n - 1))
+    surv = cobra_hit_survival_exact(g, start, target, t_max=10)
+    assert np.all(surv >= -1e-15)
+    assert np.all(surv <= 1.0 + 1e-12)
+    assert np.all(np.diff(surv) <= 1e-12)
+    if start == target:
+        assert np.allclose(surv, 0.0)
+
+
+@given(
+    tiny_connected_graphs(),
+    st.data(),
+    st.sampled_from([1, 2, 1.5]),
+    st.booleans(),
+)
+@settings(max_examples=30, deadline=None)
+def test_duality_holds_for_all_policies_and_laziness(g, data, branching, lazy):
+    """Theorem 1.3 with random (v, C), random policy, lazy or not."""
+    source = data.draw(st.integers(min_value=0, max_value=g.n - 1))
+    start = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=g.n - 1),
+            min_size=1,
+            max_size=g.n,
+            unique=True,
+        )
+    )
+    report = verify_duality_exact(
+        g, source, start, branching=branching, lazy=lazy, t_max=7
+    )
+    assert report.max_abs_diff < 1e-9

@@ -1,0 +1,93 @@
+"""Hitting-time utilities: exact linear-system values and MC agreement."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    cobra_hit_survival_mc,
+    cobra_hit_survival_exact,
+    commute_time,
+    random_walk_hitting_time,
+    random_walk_hitting_times,
+)
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+
+
+class TestExactHittingTimes:
+    def test_complete_graph_closed_form(self):
+        # K_n: H(u, v) = n - 1 for u != v.
+        n = 8
+        assert random_walk_hitting_time(complete_graph(n), 0, 5) == pytest.approx(
+            n - 1
+        )
+
+    def test_path_endpoint_closed_form(self):
+        # P_n (vertices 0..n-1): H(0, n-1) = (n-1)^2.
+        n = 6
+        assert random_walk_hitting_time(path_graph(n), 0, n - 1) == pytest.approx(
+            (n - 1) ** 2
+        )
+
+    def test_cycle_closed_form(self):
+        # C_n: H(u, v) = k (n - k) for distance k.
+        g = cycle_graph(10)
+        assert random_walk_hitting_time(g, 0, 3) == pytest.approx(3 * 7)
+        assert random_walk_hitting_time(g, 0, 5) == pytest.approx(5 * 5)
+
+    def test_star_hub_and_leaf(self):
+        # Star with hub 0: H(leaf, hub) = 1; H(hub, leaf) = 2(n-1) - 1.
+        g = star_graph(9)
+        assert random_walk_hitting_time(g, 3, 0) == pytest.approx(1.0)
+        assert random_walk_hitting_time(g, 0, 3) == pytest.approx(2 * 8 - 1)
+
+    def test_target_zero(self):
+        times = random_walk_hitting_times(petersen_graph(), 4)
+        assert times[4] == 0.0
+        assert np.all(times[np.arange(10) != 4] > 0)
+
+    def test_commute_symmetric(self):
+        g = petersen_graph()
+        assert commute_time(g, 0, 7) == pytest.approx(commute_time(g, 7, 0))
+
+    def test_commute_via_effective_resistance(self):
+        # Edge of a cycle: R_eff = (1 * (n-1))/n; commute = 2m R_eff.
+        n = 9
+        g = cycle_graph(n)
+        assert commute_time(g, 0, 1) == pytest.approx(2 * n * (n - 1) / n)
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            random_walk_hitting_times(Graph(4, [(0, 1)]), 0)
+
+
+class TestMcSurvival:
+    def test_matches_exact_b2(self):
+        g = cycle_graph(6)
+        exact = cobra_hit_survival_exact(g, 0, 3, t_max=12)
+        curve = cobra_hit_survival_mc(g, 0, 3, runs=2500, horizon=12, rng=3)
+        for t in range(13):
+            se = max(np.sqrt(exact[t] * (1 - exact[t]) / 2500), 1.5e-3)
+            assert abs(curve.at(t) - exact[t]) < 5 * se, f"t={t}"
+
+    def test_b1_mean_matches_linear_system(self):
+        # Survival-sum estimate of E[Hit] vs the exact linear solve.
+        g = path_graph(5)
+        exact = random_walk_hitting_time(g, 0, 4)  # = 16
+        curve = cobra_hit_survival_mc(
+            g, 0, 4, branching=1, runs=3000, horizon=250, rng=4
+        )
+        mc_mean = float(curve.probabilities.sum())
+        assert mc_mean == pytest.approx(exact, rel=0.08)
+
+    def test_start_set_containing_target(self):
+        curve = cobra_hit_survival_mc(
+            path_graph(4), [1, 2], 2, runs=50, horizon=5, rng=1
+        )
+        assert curve.at(0) == 0.0

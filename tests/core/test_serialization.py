@@ -1,0 +1,132 @@
+"""Serialised-BIPS (Section 3 machinery) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import BipsProcess, SerializedBips, collect_increments
+from repro.graphs import cycle_graph, path_graph, petersen_graph, star_graph
+
+
+class TestRoundMechanics:
+    def test_identity_eq12_every_round(self, rng):
+        # d(B) = d(A) + sum(Y_l) must hold exactly, per eq. (12).
+        for g in (path_graph(8), star_graph(8), petersen_graph()):
+            proc = SerializedBips(g, 0)
+            for record in proc.run(rng):
+                assert record.check_identity()
+
+    def test_steps_are_candidates_only(self, rng):
+        g = petersen_graph()
+        proc = SerializedBips(g, 0)
+        rec = proc.run_round(rng)
+        # Step count equals the candidate-set size announced.
+        assert rec.candidate_count == len(rec.steps)
+        assert rec.candidate_count >= 1  # C_t never empty (paper)
+
+    def test_conditional_mean_lower_bound(self, rng):
+        # Eq. (18): E[Y_l | history] >= 1/2 for b = 2 (>= 1 for the
+        # source by the explicit argument).
+        g = petersen_graph()
+        proc = SerializedBips(g, 0)
+        for record in proc.run(rng):
+            for s in record.steps:
+                assert s.conditional_mean >= 0.5 - 1e-12
+
+    def test_conditional_mean_rho_bound(self, rng):
+        # Section 6: >= rho/2 for branching 1 + rho.
+        rho = 0.4
+        proc = SerializedBips(petersen_graph(), 0, branching=1 + rho)
+        for record in proc.run(rng):
+            for s in record.steps:
+                assert s.conditional_mean >= rho / 2 - 1e-12
+
+    def test_z_bounded_by_one(self, rng):
+        # |Y_l| <= dmax so |Z_l| = |1/2 - Y_l|/dmax <= 1 (for dmax >= 1;
+        # the paper's normalisation).
+        g = star_graph(12)
+        proc = SerializedBips(g, 0)
+        records = proc.run(rng)
+        _, zs, _ = collect_increments(records)
+        assert np.all(np.abs(zs) <= 1.0 + 1e-12)
+
+    def test_y_values_possible(self, rng):
+        # Y_l in {-d_A(u), d(u) - d_A(u)} for non-source candidates.
+        proc = SerializedBips(petersen_graph(), 0)
+        for record in proc.run(rng):
+            for s in record.steps:
+                if s.vertex != 0:
+                    assert s.y in (
+                        -float(s.infected_neighbors),
+                        float(s.degree - s.infected_neighbors),
+                    )
+
+    def test_source_step_rules(self, rng):
+        # When the source is a candidate, X = 1 and Y = d(v) - d_A(v) >= 1.
+        proc = SerializedBips(star_graph(6), 0)
+        saw_source_step = False
+        for record in proc.run(rng):
+            for s in record.steps:
+                if s.vertex == 0:
+                    saw_source_step = True
+                    assert s.x == 1
+                    assert s.y >= 1
+        assert saw_source_step
+
+    def test_completion(self, rng):
+        proc = SerializedBips(path_graph(6), 0)
+        proc.run(rng)
+        assert proc.complete
+        with pytest.raises(RuntimeError, match="complete"):
+            proc.run_round(rng)
+
+
+class TestEquivalenceWithParallelBips:
+    def test_mean_infection_time_matches(self):
+        # The serialisation is an analysis artifact: same distribution
+        # as the parallel engine.
+        g = cycle_graph(9)
+        serial = []
+        for i in range(120):
+            proc = SerializedBips(g, 0)
+            serial.append(len(proc.run(np.random.default_rng(2000 + i))))
+        parallel = []
+        for i in range(120):
+            res = BipsProcess(g, 0).run(np.random.default_rng(5000 + i))
+            parallel.append(res.infection_time)
+        serial_arr = np.array(serial, dtype=float)
+        par_arr = np.array(parallel, dtype=float)
+        se = np.sqrt(serial_arr.var(ddof=1) / 120 + par_arr.var(ddof=1) / 120)
+        assert abs(serial_arr.mean() - par_arr.mean()) < 4 * se
+
+    def test_custom_order_same_distribution(self):
+        # The vertex ordering is arbitrary; reversing it must not change
+        # the process law (spot-check the mean).
+        g = path_graph(7)
+        means = []
+        for order in (None, np.arange(6, -1, -1)):
+            times = []
+            for i in range(100):
+                proc = SerializedBips(g, 0, order=order)
+                times.append(len(proc.run(np.random.default_rng(100 + i))))
+            means.append(np.mean(times))
+        assert abs(means[0] - means[1]) < 2.5
+
+    def test_order_validated(self):
+        with pytest.raises(ValueError, match="permutation"):
+            SerializedBips(path_graph(4), 0, order=np.array([0, 1, 1, 3]))
+
+
+class TestIncrements:
+    def test_collect_shapes(self, rng):
+        proc = SerializedBips(path_graph(6), 0)
+        records = proc.run(rng)
+        ys, zs, means = collect_increments(records)
+        total_steps = sum(len(r.steps) for r in records)
+        assert ys.shape == zs.shape == means.shape == (total_steps,)
+
+    def test_z_transform(self, rng):
+        g = star_graph(9)
+        proc = SerializedBips(g, 0)
+        records = proc.run(rng)
+        ys, zs, _ = collect_increments(records)
+        assert np.allclose(zs, (0.5 - ys) / g.dmax)

@@ -1,0 +1,186 @@
+"""Unit tests for the CSR Graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph
+from repro.graphs.graph import _ragged_arange
+
+
+class TestConstruction:
+    def test_basic_triangle(self):
+        g = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        assert g.n == 3
+        assert g.m == 3
+        assert g.dmax == g.dmin == 2
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.m == 1
+        assert g.degree(0) == 1
+        assert g.degree(2) == 0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Graph(3, [(0, 0)])
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph(3, [(0, 3)])
+        with pytest.raises(ValueError, match="out of range"):
+            Graph(3, [(-1, 2)])
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(ValueError, match="at least one vertex"):
+            Graph(0, [])
+
+    def test_empty_graph_allowed(self):
+        g = Graph(4, [])
+        assert g.m == 0
+        assert g.dmax == 0
+
+    def test_malformed_edges_rejected(self):
+        with pytest.raises(ValueError, match="pairs"):
+            Graph(3, [(0, 1, 2)])
+
+    def test_arrays_read_only(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.indices[0] = 2
+
+    def test_from_edges_infers_n(self):
+        g = Graph.from_edges([(0, 5), (2, 3)])
+        assert g.n == 6
+        assert g.m == 2
+
+    def test_from_edges_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one edge"):
+            Graph.from_edges([])
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self, petersen):
+        for u in range(petersen.n):
+            nbrs = petersen.neighbors(u)
+            assert np.all(np.diff(nbrs) > 0)
+
+    def test_neighbor_symmetry(self, petersen):
+        for u in range(petersen.n):
+            for v in petersen.neighbors(u):
+                assert petersen.has_edge(int(v), u)
+
+    def test_has_edge(self, path5):
+        assert path5.has_edge(0, 1)
+        assert path5.has_edge(1, 0)
+        assert not path5.has_edge(0, 2)
+        assert not path5.has_edge(0, 0)
+
+    def test_edges_iteration_each_once(self, k5):
+        edges = list(k5.edges())
+        assert len(edges) == k5.m == 10
+        assert all(u < v for u, v in edges)
+        assert len(set(edges)) == 10
+
+    def test_edge_array_matches_edges(self, petersen):
+        arr = petersen.edge_array()
+        assert arr.shape == (petersen.m, 2)
+        assert set(map(tuple, arr.tolist())) == set(petersen.edges())
+
+    def test_degree_sum_is_2m(self, petersen):
+        assert int(petersen.degrees.sum()) == 2 * petersen.m
+
+    def test_total_and_set_degree(self, star7):
+        assert star7.total_degree() == 2 * star7.m
+        assert star7.set_degree([0]) == 6
+        assert star7.set_degree([1, 2]) == 2
+        assert star7.set_degree(range(star7.n)) == star7.total_degree()
+
+    def test_is_regular(self, k5, star7):
+        assert k5.is_regular()
+        assert not star7.is_regular()
+
+
+class TestSampling:
+    def test_samples_are_neighbors(self, petersen, rng):
+        verts = rng.integers(0, petersen.n, size=500)
+        targets = petersen.sample_neighbors(verts, rng)
+        for u, v in zip(verts.tolist(), targets.tolist()):
+            assert petersen.has_edge(u, v)
+
+    def test_sampling_uniform(self, star7, rng):
+        # Centre of the star: each of the 6 leaves ~uniform.
+        verts = np.zeros(12000, dtype=np.int64)
+        targets = star7.sample_neighbors(verts, rng)
+        counts = np.bincount(targets, minlength=star7.n)[1:]
+        assert counts.min() > 0
+        # chi-square-ish: each leaf expected 2000, tolerate 4 sigma.
+        assert np.all(np.abs(counts - 2000) < 4 * np.sqrt(2000))
+
+    def test_isolated_vertex_raises(self, rng):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(ValueError, match="isolated"):
+            g.sample_neighbors(np.array([2]), rng)
+
+    def test_empty_sample(self, path5, rng):
+        out = path5.sample_neighbors(np.empty(0, dtype=np.int64), rng)
+        assert out.shape == (0,)
+
+
+class TestBfs:
+    def test_path_distances(self, path5):
+        dist = path5.bfs_distances(0)
+        assert dist.tolist() == [0, 1, 2, 3, 4]
+
+    def test_cycle_distances(self, cycle6):
+        dist = cycle6.bfs_distances(0)
+        assert dist.tolist() == [0, 1, 2, 3, 2, 1]
+
+    def test_disconnected_unreachable(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        dist = g.bfs_distances(0)
+        big = np.iinfo(np.int64).max
+        assert dist.tolist() == [0, 1, big, big]
+        assert not g.is_connected()
+
+    def test_connected(self, petersen):
+        assert petersen.is_connected()
+
+
+class TestInterop:
+    def test_networkx_round_trip(self, petersen):
+        back = Graph.from_networkx(petersen.to_networkx())
+        assert back == petersen
+
+    def test_from_networkx_relabels(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edges_from([("c", "a"), ("a", "b")])
+        ours = Graph.from_networkx(g)
+        assert ours.n == 3
+        assert ours.m == 2
+
+    def test_adjacency_matrix(self, path5):
+        a = path5.adjacency_matrix().toarray()
+        assert a.shape == (5, 5)
+        assert np.allclose(a, a.T)
+        assert a.sum() == 2 * path5.m
+
+    def test_equality_and_hash(self, path5):
+        other = Graph(5, [(i, i + 1) for i in range(4)])
+        assert other == path5
+        assert hash(other) == hash(path5)
+        assert Graph(5, [(0, 1)]) != path5
+        assert path5 != "not a graph"
+
+
+class TestRaggedArange:
+    def test_basic(self):
+        out = _ragged_arange(np.array([2, 0, 3]))
+        assert out.tolist() == [0, 1, 0, 1, 2]
+
+    def test_empty(self):
+        assert _ragged_arange(np.array([], dtype=np.int64)).shape == (0,)
+
+    def test_all_zero(self):
+        assert _ragged_arange(np.array([0, 0])).shape == (0,)

@@ -1,0 +1,62 @@
+"""Edge-list I/O tests."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    parse_edge_list,
+    petersen_graph,
+    read_edge_list,
+    write_edge_list,
+)
+
+
+class TestParse:
+    def test_integer_labels_kept(self):
+        g = parse_edge_list("0 1\n1 2\n")
+        assert g.n == 3
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_integer_gap_allocates_isolated(self):
+        g = parse_edge_list("0 5\n")
+        assert g.n == 6
+        assert g.degree(3) == 0
+
+    def test_string_labels_relabelled(self):
+        g = parse_edge_list("alice bob\nbob carol\n")
+        assert g.n == 3
+        assert g.m == 2
+
+    def test_comments_and_blanks(self):
+        g = parse_edge_list("# header\n\n0 1  # trailing\n1 2\n")
+        assert g.m == 2
+
+    def test_extra_columns_ignored(self):
+        g = parse_edge_list("0 1 3.5\n1 2 0.2\n")  # weights dropped
+        assert g.m == 2
+
+    def test_negative_integers_treated_as_labels(self):
+        g = parse_edge_list("-1 0\n0 1\n")
+        assert g.n == 3  # relabelled, not integer ids
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            parse_edge_list("0\n")
+        with pytest.raises(ValueError, match="no edges"):
+            parse_edge_list("# only a comment\n")
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, tmp_path, petersen):
+        path = tmp_path / "petersen.edges"
+        write_edge_list(petersen, path)
+        back = read_edge_list(path)
+        assert back == petersen
+        assert back.name == "petersen"
+
+    def test_header_optional(self, tmp_path):
+        g = Graph(3, [(0, 1), (1, 2)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path, header=False)
+        assert not path.read_text().startswith("#")
+        assert read_edge_list(path).m == 2

@@ -1,0 +1,64 @@
+"""Validation helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    check_vertex,
+    check_vertex_set,
+    cycle_graph,
+    petersen_graph,
+    require_connected,
+    require_nonbipartite_or_lazy,
+    require_regular,
+    star_graph,
+)
+
+
+class TestRequireConnected:
+    def test_passes_on_connected(self, petersen):
+        require_connected(petersen)  # no raise
+
+    def test_raises_on_disconnected(self):
+        g = Graph(4, [(0, 1)])
+        with pytest.raises(ValueError, match="connected"):
+            require_connected(g)
+
+
+class TestRequireRegular:
+    def test_returns_degree(self, petersen):
+        assert require_regular(petersen) == 3
+
+    def test_raises_on_irregular(self):
+        with pytest.raises(ValueError, match="regular"):
+            require_regular(star_graph(5))
+
+
+class TestBipartiteGuard:
+    def test_bipartite_needs_lazy(self):
+        g = cycle_graph(8)
+        with pytest.raises(ValueError, match="lazy"):
+            require_nonbipartite_or_lazy(g, lazy=False)
+        require_nonbipartite_or_lazy(g, lazy=True)  # no raise
+
+    def test_nonbipartite_ok(self):
+        require_nonbipartite_or_lazy(cycle_graph(7), lazy=False)
+
+
+class TestVertexChecks:
+    def test_check_vertex(self, petersen):
+        assert check_vertex(petersen, 3) == 3
+        assert check_vertex(petersen, np.int64(9)) == 9
+        with pytest.raises(ValueError):
+            check_vertex(petersen, 10)
+        with pytest.raises(ValueError):
+            check_vertex(petersen, -1)
+
+    def test_check_vertex_set(self, petersen):
+        out = check_vertex_set(petersen, [3, 1, 3])
+        assert out.tolist() == [1, 3]
+        with pytest.raises(ValueError, match="nonempty"):
+            check_vertex_set(petersen, [])
+        with pytest.raises(ValueError, match="range"):
+            check_vertex_set(petersen, [0, 11])

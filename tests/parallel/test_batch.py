@@ -1,0 +1,46 @@
+"""Batch-planning tests."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import plan_batches, run_batched
+
+
+class TestPlanBatches:
+    def test_splits_cover_total(self):
+        plan = plan_batches(1000, 64, max_batch=128)
+        assert sum(plan) == 1000
+        assert max(plan) <= 128
+
+    def test_budget_respected(self):
+        # 4 arrays * 1 MiB vertices -> each run costs 4 MiB; 8 MiB
+        # budget allows 2 runs per batch.
+        plan = plan_batches(5, 1024 * 1024, budget_bytes=8 * 1024 * 1024)
+        assert plan == [2, 2, 1]
+
+    def test_minimum_one_per_batch(self):
+        plan = plan_batches(3, 10**9, budget_bytes=1)
+        assert plan == [1, 1, 1]
+
+    def test_single_batch_when_small(self):
+        assert plan_batches(10, 100) == [10]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_batches(0, 10)
+        with pytest.raises(ValueError):
+            plan_batches(10, 0)
+
+
+class TestRunBatched:
+    def test_concatenates(self):
+        calls = []
+
+        def sampler(b: int) -> np.ndarray:
+            calls.append(b)
+            return np.full(b, len(calls))
+
+        out = run_batched(sampler, 10, 4, max_batch=4)
+        assert out.shape == (10,)
+        assert calls == [4, 4, 2]
+        assert out.tolist() == [1] * 4 + [2] * 4 + [3] * 2

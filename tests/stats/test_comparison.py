@@ -1,0 +1,78 @@
+"""Two-sample comparison tests."""
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    ks_compare,
+    permutation_mean_test,
+    same_distribution,
+)
+
+
+class TestKs:
+    def test_same_distribution_accepted(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=400), rng.normal(size=400)
+        assert ks_compare(a, b).consistent()
+
+    def test_shifted_distribution_rejected(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 1, size=400)
+        b = rng.normal(2, 1, size=400)
+        assert not ks_compare(a, b).consistent()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_compare([], [1.0])
+
+
+class TestPermutation:
+    def test_equal_means_accepted(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.exponential(size=80), rng.exponential(size=80)
+        assert permutation_mean_test(a, b, rng=4).consistent()
+
+    def test_different_means_rejected(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(0, 1, size=80)
+        b = rng.normal(1.5, 1, size=80)
+        assert not permutation_mean_test(a, b, rng=6).consistent()
+
+    def test_p_value_never_zero(self):
+        res = permutation_mean_test([0.0] * 10, [100.0] * 10, rng=7)
+        assert res.p_value > 0.0
+
+    def test_identical_samples_p_one(self):
+        res = permutation_mean_test([1.0, 2.0], [1.0, 2.0], rng=8)
+        assert res.p_value == pytest.approx(1.0)
+
+
+class TestEngineEquivalence:
+    def test_cobra_batch_vs_single(self):
+        # The repository's actual use case: two engines, one law.
+        import numpy as np
+
+        from repro.core import CobraProcess, cover_time_samples
+        from repro.graphs import cycle_graph
+
+        g = cycle_graph(13)
+        batch = cover_time_samples(g, runs=200, rng=9)
+        single = np.array(
+            [
+                CobraProcess(g).run(0, np.random.default_rng(3000 + i)).cover_time
+                for i in range(200)
+            ]
+        )
+        assert same_distribution(batch, single, rng=10)
+
+    def test_rho1_vs_b2(self):
+        from repro.core import BernoulliBranching, cover_time_samples
+        from repro.graphs import complete_graph
+
+        g = complete_graph(24)
+        a = cover_time_samples(g, runs=200, branching=2, rng=11)
+        b = cover_time_samples(
+            g, runs=200, branching=BernoulliBranching(1.0), rng=12
+        )
+        assert same_distribution(a, b, rng=13)

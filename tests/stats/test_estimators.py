@@ -1,0 +1,76 @@
+"""Estimator tests."""
+
+import numpy as np
+import pytest
+
+from repro.stats import bootstrap_ci, mean_ci, quantile_estimate, whp_quantile
+
+
+class TestMeanCI:
+    def test_point_estimate(self):
+        est = mean_ci(np.array([1.0, 2.0, 3.0]))
+        assert est.value == pytest.approx(2.0)
+        assert est.lower < 2.0 < est.upper
+        assert est.n_samples == 3
+
+    def test_single_sample_degenerate(self):
+        est = mean_ci(np.array([5.0]))
+        assert est.value == est.lower == est.upper == 5.0
+
+    def test_constant_samples(self):
+        est = mean_ci(np.full(10, 7.0))
+        assert est.half_width == 0.0
+
+    def test_coverage_calibration(self):
+        # ~95% of intervals should contain the true mean.
+        rng = np.random.default_rng(0)
+        hits = 0
+        for _ in range(300):
+            est = mean_ci(rng.normal(10.0, 2.0, size=30))
+            hits += est.lower <= 10.0 <= est.upper
+        assert 0.90 <= hits / 300 <= 0.99
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci(np.array([]))
+
+    def test_overlap(self):
+        a = mean_ci(np.array([1.0, 2.0, 3.0]))
+        b = mean_ci(np.array([2.0, 3.0, 4.0]))
+        c = mean_ci(np.array([100.0, 101.0]))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestQuantiles:
+    def test_median(self):
+        est = quantile_estimate(np.arange(101, dtype=float), 0.5, rng=1)
+        assert est.value == pytest.approx(50.0)
+
+    def test_whp_is_95th(self):
+        x = np.arange(1000, dtype=float)
+        est = whp_quantile(x, rng=2)
+        assert est.value == pytest.approx(np.quantile(x, 0.95))
+
+    def test_bounds_bracket_point(self):
+        rng = np.random.default_rng(3)
+        est = quantile_estimate(rng.exponential(size=500), 0.9, rng=4)
+        assert est.lower <= est.value <= est.upper
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantile_estimate(np.array([1.0]), 1.5)
+        with pytest.raises(ValueError):
+            quantile_estimate(np.array([]), 0.5)
+
+
+class TestBootstrap:
+    def test_mean_statistic(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(3.0, 1.0, size=200)
+        est = bootstrap_ci(x, np.mean, rng=6)
+        assert est.lower <= 3.0 <= est.upper or abs(est.value - 3.0) < 0.3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([]), np.mean)

@@ -1,0 +1,48 @@
+"""Seed-spawning tests: determinism and independence."""
+
+import numpy as np
+import pytest
+
+from repro.stats import generator_from, spawn_generators, spawn_seeds
+
+
+class TestSpawning:
+    def test_deterministic(self):
+        a = [g.random(3) for g in spawn_generators(42, 4)]
+        b = [g.random(3) for g in spawn_generators(42, 4)]
+        for x, y in zip(a, b):
+            assert np.allclose(x, y)
+
+    def test_children_differ(self):
+        gens = spawn_generators(42, 3)
+        streams = [g.random(8) for g in gens]
+        assert not np.allclose(streams[0], streams[1])
+        assert not np.allclose(streams[1], streams[2])
+
+    def test_from_seedsequence(self):
+        ss = np.random.SeedSequence(7)
+        assert len(spawn_seeds(ss, 5)) == 5
+
+    def test_count_validated(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+
+    def test_zero_count(self):
+        assert spawn_seeds(1, 0) == []
+
+
+class TestGeneratorFrom:
+    def test_passthrough(self):
+        g = np.random.default_rng(1)
+        assert generator_from(g) is g
+
+    def test_from_int_and_none(self):
+        assert isinstance(generator_from(5), np.random.Generator)
+        assert isinstance(generator_from(None), np.random.Generator)
+
+    def test_from_seed_sequence(self):
+        g = generator_from(np.random.SeedSequence(3))
+        assert isinstance(g, np.random.Generator)
+
+    def test_int_determinism(self):
+        assert generator_from(9).random() == generator_from(9).random()

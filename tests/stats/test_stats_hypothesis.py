@@ -1,0 +1,69 @@
+"""Property-based tests for the statistics toolkit."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.stats import (
+    empirical_survival,
+    fit_power_law,
+    mean_ci,
+    quantile_estimate,
+)
+
+finite_samples = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=60),
+    elements=st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+)
+
+
+@given(finite_samples)
+@settings(max_examples=100, deadline=None)
+def test_mean_ci_brackets_mean(x):
+    est = mean_ci(x)
+    assert est.lower - 1e-9 <= est.value <= est.upper + 1e-9
+    assert est.value == float(np.mean(x))
+
+
+@given(finite_samples, st.floats(min_value=0.05, max_value=0.95))
+@settings(max_examples=80, deadline=None)
+def test_quantile_within_sample_range(x, q):
+    est = quantile_estimate(x, q, rng=0)
+    assert x.min() - 1e-9 <= est.value <= x.max() + 1e-9
+
+
+@given(
+    hnp.arrays(
+        dtype=np.int64,
+        shape=st.integers(min_value=1, max_value=80),
+        elements=st.integers(min_value=0, max_value=40),
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_survival_properties(times):
+    curve = empirical_survival(times)
+    p = curve.probabilities
+    assert np.all(p >= -1e-12) and np.all(p <= 1.0 + 1e-12)
+    assert np.all(np.diff(p) <= 1e-12)  # non-increasing
+    assert p[-1] == 0.0  # grid extends to the max observed time
+    # P(T > t) * N is integral.
+    counts = p * times.size
+    assert np.allclose(counts, np.round(counts))
+
+
+@given(
+    st.floats(min_value=-2.0, max_value=2.0),
+    st.floats(min_value=0.1, max_value=10.0),
+    st.integers(min_value=3, max_value=12),
+)
+@settings(max_examples=80, deadline=None)
+def test_power_law_fit_inverts_construction(exponent, amplitude, points):
+    x = np.geomspace(2.0, 2.0**10, points)
+    y = amplitude * x**exponent
+    fit = fit_power_law(x, y)
+    assert abs(fit.exponent - exponent) < 1e-8
+    assert abs(fit.amplitude - amplitude) / amplitude < 1e-6

@@ -1,0 +1,58 @@
+"""Documentation hygiene: every public item carries a docstring.
+
+Deliverable (e) requires doc comments on every public item; this
+meta-test enforces it mechanically across the whole package.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SKIP_DUNDER = True
+
+
+def _public_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if any(part.startswith("_") for part in info.name.split(".")):
+            continue
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_public_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_callables_documented(module):
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+            continue
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(obj):
+            for meth_name, meth in inspect.getmembers(obj, inspect.isfunction):
+                if meth_name.startswith("_"):
+                    continue
+                if meth.__qualname__.split(".")[0] != obj.__name__:
+                    continue  # inherited
+                if not (meth.__doc__ and meth.__doc__.strip()):
+                    undocumented.append(f"{name}.{meth_name}")
+    assert not undocumented, f"{module.__name__}: {undocumented}"
+
+
+def test_top_level_reexports_complete():
+    # Everything promised by repro.__all__ resolves and is documented
+    # somewhere down the import chain.
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None

@@ -1,0 +1,43 @@
+"""Public API surface tests: the names README/docs promise must exist."""
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet_runs(self):
+        # The exact snippet from the package docstring.
+        import numpy as np
+
+        g = repro.hypercube_graph(4)
+        times = repro.cover_time_samples(
+            g, start=0, runs=10, lazy=True, rng=np.random.default_rng(1)
+        )
+        assert times.shape == (10,)
+        assert times.mean() >= 4.0  # log2(16)
+
+    def test_subpackages_importable(self):
+        import repro.baselines
+        import repro.core
+        import repro.experiments
+        import repro.graphs
+        import repro.parallel
+        import repro.stats
+        import repro.theory
+
+        for mod in (
+            repro.baselines,
+            repro.core,
+            repro.experiments,
+            repro.graphs,
+            repro.parallel,
+            repro.stats,
+            repro.theory,
+        ):
+            assert mod.__all__

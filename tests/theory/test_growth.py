@@ -1,0 +1,110 @@
+"""Growth-lemma formula tests."""
+
+import numpy as np
+import pytest
+
+from repro.theory import (
+    cor52_candidate_bound,
+    expected_growth_curve,
+    lemma41_growth_bound,
+    lemma42_growth_bound,
+    lemma54_schedule,
+)
+
+
+class TestLemma41:
+    def test_value(self):
+        # |A| = 10, n = 100, lambda = 0.5: 10 (1 + 0.75 * 0.9) = 16.75.
+        assert lemma41_growth_bound(10, 100, 0.5) == pytest.approx(16.75)
+
+    def test_no_growth_at_full(self):
+        assert lemma41_growth_bound(100, 100, 0.3) == pytest.approx(100.0)
+
+    def test_growth_positive_below_full(self):
+        for size in (1, 10, 50, 99):
+            assert lemma41_growth_bound(size, 100, 0.5) > size
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lemma41_growth_bound(10, 100, 1.0)
+        with pytest.raises(ValueError):
+            lemma41_growth_bound(200, 100, 0.5)
+
+
+class TestLemma42:
+    def test_rho_one_matches_lemma41(self):
+        assert lemma42_growth_bound(10, 100, 0.5, 1.0) == pytest.approx(
+            lemma41_growth_bound(10, 100, 0.5)
+        )
+
+    def test_rho_scales_growth(self):
+        g_full = lemma42_growth_bound(10, 100, 0.5, 1.0) - 10
+        g_half = lemma42_growth_bound(10, 100, 0.5, 0.5) - 10
+        assert g_half == pytest.approx(g_full / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lemma42_growth_bound(10, 100, 0.5, 0.0)
+
+
+class TestCorollary52:
+    def test_value(self):
+        assert cor52_candidate_bound(20, 100, 0.6) == pytest.approx(4.0)
+
+    def test_requires_half(self):
+        with pytest.raises(ValueError):
+            cor52_candidate_bound(60, 100, 0.5)
+
+
+class TestLemma54Schedule:
+    def test_structure(self):
+        s = lemma54_schedule(1024, 8, 0.5)
+        assert s.kappas[0] == pytest.approx(s.kappa0)
+        assert s.rounds[0] == pytest.approx(8 * 8 * s.kappa0)
+        # Doubling targets.
+        ratios = s.kappas[1:] / s.kappas[:-1]
+        assert np.allclose(ratios, 2.0)
+        # Linear round increments of 16 r / gap.
+        diffs = np.diff(s.rounds)
+        assert np.allclose(diffs, 16 * 8 / 0.5)
+        # Terminates at >= n/4.
+        assert s.kappas[-1] >= 1024 / 4
+
+    def test_kappa0_formula(self):
+        import math
+
+        s = lemma54_schedule(256, 4, 0.25, c_prime=2.0)
+        expected = 1 / 0.25 + (2.0 * 4 / 4) * math.log(256)
+        assert s.kappa0 == pytest.approx(expected)
+
+    def test_kappa0_capped_at_n(self):
+        s = lemma54_schedule(16, 3, 0.01)
+        assert s.kappa0 == 16.0
+        assert len(s.kappas) == 1  # already >= n/4
+
+    def test_gap_validated(self):
+        with pytest.raises(ValueError):
+            lemma54_schedule(100, 3, 0.0)
+
+    def test_total_rounds(self):
+        s = lemma54_schedule(1024, 8, 0.5)
+        assert s.total_rounds == pytest.approx(s.rounds[-1])
+
+
+class TestGrowthCurve:
+    def test_monotone_and_capped(self):
+        curve = expected_growth_curve(100, 0.5, t_max=100)
+        assert curve[0] == 1.0
+        assert np.all(np.diff(curve) >= -1e-12)
+        assert np.all(curve <= 100.0)
+        assert curve[-1] == pytest.approx(100.0, abs=1.0)
+
+    def test_smaller_gap_slower(self):
+        fast = expected_growth_curve(100, 0.1, t_max=30)
+        slow = expected_growth_curve(100, 0.95, t_max=30)
+        assert fast[15] > slow[15]
+
+    def test_rho_slows(self):
+        full = expected_growth_curve(100, 0.5, rho=1.0, t_max=30)
+        half = expected_growth_curve(100, 0.5, rho=0.5, t_max=30)
+        assert full[10] > half[10]

@@ -1,0 +1,47 @@
+"""Family-prediction lookup tests."""
+
+import math
+
+import pytest
+
+from repro.theory import PREDICTIONS, prediction_for
+
+
+class TestLookup:
+    def test_known_families_present(self):
+        for family in ("complete", "hypercube", "torus-2d", "torus-3d", "cycle"):
+            pred = prediction_for(family)
+            assert pred.family == family
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError, match="known"):
+            prediction_for("mystery-graph")
+
+    def test_polylog_families_have_zero_power(self):
+        for pred in PREDICTIONS.values():
+            if pred.polylog_only:
+                assert pred.power_of_n == 0.0
+
+    def test_torus_powers(self):
+        assert prediction_for("torus-2d").power_of_n == pytest.approx(0.5)
+        assert prediction_for("torus-3d").power_of_n == pytest.approx(1 / 3)
+
+
+class TestPredictedValue:
+    def test_complete_is_log(self):
+        pred = prediction_for("complete")
+        assert pred.predicted_value(math.e**3) == pytest.approx(3.0)
+
+    def test_constant_scales(self):
+        pred = prediction_for("torus-2d")
+        assert pred.predicted_value(100, constant=2.0) == pytest.approx(
+            2 * pred.predicted_value(100)
+        )
+
+    def test_sources_cite_papers(self):
+        for pred in PREDICTIONS.values():
+            assert any(
+                key in pred.source
+                for key in ("SPAA", "PODC", "Dutta", "Mitzenmacher", "this paper",
+                            "Theorem", "diameter", "Cooper")
+            )
