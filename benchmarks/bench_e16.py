@@ -1,0 +1,15 @@
+"""Benchmark: dynamic-graph cover/infection sweep (experiment E16).
+
+Regenerates the experiment's table(s) under timing and asserts its
+shape criteria (see DESIGN.md experiment index).
+"""
+
+from conftest import run_and_check
+
+
+def test_bench_e16(benchmark):
+    result = benchmark.pedantic(
+        run_and_check, args=("E16",), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.all_passed
+    assert result.tables

@@ -12,7 +12,9 @@ Public API highlights:
   machine precision on tiny graphs;
 * :mod:`repro.theory` — every bound formula in the paper and its
   comparisons;
-* :mod:`repro.experiments` — the E1..E12 reproduction suite (see
+* :mod:`repro.dynamics` — the same processes on time-evolving graphs
+  (edge-Markovian, degree-preserving rewiring, vertex churn);
+* :mod:`repro.experiments` — the E1..E16 reproduction suite (see
   DESIGN.md / EXPERIMENTS.md).
 
 Quickstart::
@@ -39,6 +41,18 @@ from .core import (
     infection_time_samples,
     verify_duality_exact,
     verify_duality_monte_carlo,
+)
+from .dynamics import (
+    ChurnSequence,
+    DynamicBipsProcess,
+    DynamicCobraProcess,
+    EdgeMarkovianSequence,
+    FrozenSequence,
+    GraphSequence,
+    RewiringSequence,
+    SnapshotSchedule,
+    dynamic_cover_time_samples,
+    dynamic_infection_time_samples,
 )
 from .experiments import ExperimentConfig, run_experiment
 from .graphs import (
@@ -78,6 +92,17 @@ __all__ = [
     "infection_time_samples",
     "verify_duality_exact",
     "verify_duality_monte_carlo",
+    # dynamics
+    "ChurnSequence",
+    "DynamicBipsProcess",
+    "DynamicCobraProcess",
+    "EdgeMarkovianSequence",
+    "FrozenSequence",
+    "GraphSequence",
+    "RewiringSequence",
+    "SnapshotSchedule",
+    "dynamic_cover_time_samples",
+    "dynamic_infection_time_samples",
     # experiments
     "ExperimentConfig",
     "run_experiment",

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..graphs.graph import Graph
 from ..graphs.validation import check_vertex, require_connected
+from ..stats.rng import generator_from
 
 __all__ = ["multi_walk_cover_time", "multi_walk_cover_samples"]
 
@@ -32,7 +33,7 @@ def multi_walk_cover_time(
     Each round advances all ``k`` walkers with one vectorised
     neighbour-sample; visitation is tracked with a boolean mask.
     """
-    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    gen = generator_from(rng)
     require_connected(graph)
     if k < 1:
         raise ValueError("need at least one walker")
@@ -84,7 +85,7 @@ def multi_walk_cover_samples(
     max_rounds: int | None = None,
 ) -> np.ndarray:
     """Sample the ``k``-walk cover time ``runs`` times."""
-    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    gen = generator_from(rng)
     return np.array(
         [
             multi_walk_cover_time(

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..graphs.graph import Graph
 from ..graphs.validation import check_vertex, require_connected
+from ..stats.rng import generator_from
 
 __all__ = ["pull_broadcast_time", "push_pull_broadcast_time", "pull_broadcast_samples"]
 
@@ -30,7 +31,7 @@ def pull_broadcast_time(
     max_rounds: int | None = None,
 ) -> int:
     """Rounds until everyone is informed under pull-only gossip."""
-    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    gen = generator_from(rng)
     require_connected(graph)
     n = graph.n
     cap = max_rounds if max_rounds is not None else int(64 * (n + graph.dmax * np.log(n + 1)) + 1000)
@@ -57,7 +58,7 @@ def push_pull_broadcast_time(
     max_rounds: int | None = None,
 ) -> int:
     """Rounds to inform everyone when informed push and uninformed pull."""
-    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    gen = generator_from(rng)
     require_connected(graph)
     n = graph.n
     cap = max_rounds if max_rounds is not None else int(64 * (n + graph.dmax * np.log(n + 1)) + 1000)
@@ -92,7 +93,7 @@ def pull_broadcast_samples(
     max_rounds: int | None = None,
 ) -> np.ndarray:
     """Sample the pull broadcast time ``runs`` times."""
-    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    gen = generator_from(rng)
     return np.array(
         [
             pull_broadcast_time(graph, start, rng=gen, max_rounds=max_rounds)

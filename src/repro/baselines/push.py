@@ -14,6 +14,7 @@ import numpy as np
 
 from ..graphs.graph import Graph
 from ..graphs.validation import check_vertex, require_connected
+from ..stats.rng import generator_from
 
 __all__ = ["push_broadcast_time", "push_broadcast_samples"]
 
@@ -32,7 +33,7 @@ def push_broadcast_time(
     pushes to per round (1 is the classic protocol; 2 matches COBRA's
     transmission budget at ``b = 2``).
     """
-    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    gen = generator_from(rng)
     require_connected(graph)
     if fanout < 1:
         raise ValueError("fanout must be >= 1")
@@ -63,7 +64,7 @@ def push_broadcast_samples(
     max_rounds: int | None = None,
 ) -> np.ndarray:
     """Sample the push broadcast time ``runs`` times."""
-    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    gen = generator_from(rng)
     return np.array(
         [
             push_broadcast_time(

@@ -13,6 +13,7 @@ import numpy as np
 
 from ..graphs.graph import Graph
 from ..graphs.validation import check_vertex, require_connected
+from ..stats.rng import generator_from
 
 __all__ = ["random_walk_cover_time", "random_walk_cover_samples", "walk_trajectory"]
 
@@ -61,7 +62,7 @@ def random_walk_cover_time(
 
     A round here is one step, matching COBRA's round at ``b = 1``.
     """
-    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    gen = generator_from(rng)
     require_connected(graph)
     n = graph.n
     cap = max_steps if max_steps is not None else int(64 * n * max(1, np.log(n)) * graph.dmax + 1000)
@@ -101,7 +102,7 @@ def random_walk_cover_samples(
     max_steps: int | None = None,
 ) -> np.ndarray:
     """Sample the walk's cover time ``runs`` times."""
-    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    gen = generator_from(rng)
     return np.array(
         [
             random_walk_cover_time(

@@ -80,6 +80,40 @@ def build_parser() -> argparse.ArgumentParser:
     traj_p.add_argument("--runs", type=int, default=60)
     traj_p.add_argument("--lazy", action="store_true")
     traj_p.add_argument("--seed", type=int, default=0)
+
+    dyn_p = sub.add_parser(
+        "dynamics",
+        help="measure COBRA cover / BIPS infection on a time-evolving graph",
+    )
+    dyn_p.add_argument(
+        "--family",
+        choices=("expander", "cycle", "complete", "torus"),
+        default="expander",
+        help="base-graph family (expander = random 4-regular)",
+    )
+    dyn_p.add_argument("--n", type=int, default=64, help="base-graph size")
+    dyn_p.add_argument(
+        "--kind",
+        choices=("rewiring", "edge-markovian", "churn", "frozen"),
+        default="rewiring",
+        help="evolution model applied to the base graph",
+    )
+    dyn_p.add_argument(
+        "--rate",
+        type=float,
+        default=0.1,
+        help="evolution rate per round: fraction of edges swapped "
+        "(rewiring), edge death probability (edge-markovian), or vertex "
+        "leave probability (churn); 0 freezes the graph",
+    )
+    dyn_p.add_argument(
+        "--process", choices=("cobra", "bips"), default="cobra",
+        help="cobra: cover times; bips: infection times",
+    )
+    dyn_p.add_argument("--runs", type=int, default=20)
+    dyn_p.add_argument("--branching", type=float, default=2.0)
+    dyn_p.add_argument("--lazy", action="store_true")
+    dyn_p.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -232,6 +266,113 @@ def _cmd_trajectory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dynamics_base_graph(args: argparse.Namespace):
+    from .graphs import (
+        complete_graph,
+        cycle_graph,
+        random_regular_graph,
+        torus_graph,
+    )
+
+    n = args.n
+    if args.family == "expander":
+        return random_regular_graph(n, 4, rng=args.seed + 1000)
+    if args.family == "cycle":
+        return cycle_graph(n if n % 2 else n + 1)  # odd: non-bipartite
+    if args.family == "complete":
+        return complete_graph(n)
+    side = max(3, round(n**0.5))
+    return torus_graph([side, side])
+
+
+def _dynamics_sequence_factory(args: argparse.Namespace, base):
+    from .dynamics import (
+        ChurnSequence,
+        EdgeMarkovianSequence,
+        FrozenSequence,
+        RewiringSequence,
+    )
+
+    rate = args.rate
+    if args.kind == "frozen" or rate == 0.0:
+        return "frozen", lambda topology_seed: FrozenSequence(base)
+    if args.kind == "rewiring":
+        swaps = max(1, round(rate * base.m))
+        return (
+            f"rewiring ({swaps} swaps/round)",
+            lambda topology_seed: RewiringSequence(base, swaps, seed=topology_seed),
+        )
+    if args.kind == "edge-markovian":
+        # Birth rate chosen so the stationary density equals the base's.
+        density = base.m / (base.n * (base.n - 1) / 2)
+        birth = min(1.0, rate * density / max(1e-12, 1.0 - density))
+        return (
+            f"edge-markovian (birth={birth:.4f}, death={rate:g})",
+            lambda topology_seed: EdgeMarkovianSequence(
+                base, birth, rate, seed=topology_seed
+            ),
+        )
+    return (
+        f"churn (leave={rate:g}, rejoin=0.5)",
+        lambda topology_seed: ChurnSequence(base, rate, 0.5, seed=topology_seed),
+    )
+
+
+def _cmd_dynamics(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .dynamics import (
+        dynamic_cover_time_samples,
+        dynamic_infection_time_samples,
+    )
+    from .stats import mean_ci, whp_quantile
+
+    if not 0.0 <= args.rate <= 1.0:
+        raise SystemExit("--rate must be in [0, 1]")
+    if args.runs < 1:
+        raise SystemExit("--runs must be >= 1")
+    try:
+        base = _dynamics_base_graph(args)
+    except ValueError as exc:
+        raise SystemExit(f"cannot build a {args.family} base graph: {exc}")
+    label, factory = _dynamics_sequence_factory(args, base)
+    try:
+        if args.process == "cobra":
+            samples = dynamic_cover_time_samples(
+                factory,
+                args.runs,
+                branching=args.branching,
+                lazy=args.lazy,
+                seed=args.seed,
+            )
+            measured = "cover time"
+        else:
+            samples = dynamic_infection_time_samples(
+                factory,
+                args.runs,
+                branching=args.branching,
+                lazy=args.lazy,
+                seed=args.seed,
+            )
+            measured = "infection time"
+    except RuntimeError as exc:
+        raise SystemExit(
+            f"{exc}\nhint: under heavy churn, full coverage/infection of all "
+            "n vertices may be unreachable — lower --rate (BIPS needs every "
+            "vertex present and infected simultaneously)"
+        )
+    stat_rng = np.random.default_rng(args.seed)
+    print(
+        f"dynamic {args.process.upper()} on {base!r}\n"
+        f"  dynamics  : {label}\n"
+        f"  runs={args.runs} b={args.branching:g} lazy={args.lazy} "
+        f"seed={args.seed}"
+    )
+    print(f"  mean {measured:14}: {mean_ci(samples)}")
+    print(f"  95th percentile    : {whp_quantile(samples, rng=stat_rng)}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -247,6 +388,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_cover(args)
     if args.command == "trajectory":
         return _cmd_trajectory(args)
+    if args.command == "dynamics":
+        return _cmd_dynamics(args)
     raise SystemExit(2)  # pragma: no cover - argparse enforces commands
 
 

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..graphs.graph import Graph
 from ..graphs.validation import check_vertex, require_connected
+from ..stats.rng import generator_from
 from .branching import BranchingPolicy, FixedBranching, make_policy
 from .state import BipsBatchResult, BipsResult
 
@@ -82,7 +83,8 @@ class BipsProcess:
     """A BIPS process bound to a graph, source vertex and branching policy.
 
     Parameters mirror :class:`~repro.core.cobra.CobraProcess`; the extra
-    ``source`` is the persistent source ``v``.
+    ``source`` is the persistent source ``v``.  ``validate=False`` skips
+    the connectivity check (see :mod:`repro.dynamics`).
     """
 
     def __init__(
@@ -92,8 +94,10 @@ class BipsProcess:
         branching: BranchingPolicy | int | float = 2,
         *,
         lazy: bool = False,
+        validate: bool = True,
     ) -> None:
-        require_connected(graph)
+        if validate:
+            require_connected(graph)
         self.graph = graph
         self.source = check_vertex(graph, source)
         self.policy = make_policy(branching)
@@ -272,7 +276,7 @@ def infection_time(
     max_rounds: int | None = None,
 ) -> int:
     """Sample ``infec(source)`` once.  Raises if the cap is hit."""
-    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    gen = generator_from(rng)
     res = BipsProcess(graph, source, branching, lazy=lazy).run(
         gen, max_rounds=max_rounds
     )
@@ -295,7 +299,7 @@ def infection_time_samples(
     batch_size: int = 256,
 ) -> np.ndarray:
     """Sample ``infec(source)`` ``runs`` times via the batch engine."""
-    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    gen = generator_from(rng)
     proc = BipsProcess(graph, source, branching, lazy=lazy)
     if runs <= 0:
         return np.empty(0, dtype=np.int64)

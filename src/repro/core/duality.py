@@ -31,6 +31,7 @@ from .bips import BipsProcess
 from .branching import BranchingPolicy
 from .cobra import CobraProcess
 from .exact import bips_exact, cobra_hit_survival_exact
+from ..stats.rng import generator_from
 
 __all__ = [
     "DualityReport",
@@ -122,7 +123,7 @@ def verify_duality_monte_carlo(
     entirely.  Both estimated from ``runs`` independent trajectories.
     """
     require_connected(graph)
-    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    gen = generator_from(rng)
     source = check_vertex(graph, source)
     c = check_vertex_set(graph, start_set)
     if horizons is None:

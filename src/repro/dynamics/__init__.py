@@ -1,0 +1,43 @@
+"""Time-evolving graphs: sequences of snapshots and dynamic COBRA/BIPS.
+
+The subsystem splits into a topology layer and a process layer:
+
+* :class:`GraphSequence` — deterministic random-access snapshot
+  sequences, with :class:`FrozenSequence` (static limit),
+  :class:`SnapshotSchedule` (replay, eager or lazy), and the stochastic
+  providers :class:`EdgeMarkovianSequence`, :class:`RewiringSequence`,
+  :class:`ChurnSequence`;
+* :class:`DynamicCobraProcess` / :class:`DynamicBipsProcess` — runners
+  that drive the static vectorised kernels over the per-round
+  snapshots, with one seed stream for topology and one for the process.
+"""
+
+from .process import (
+    DynamicBipsProcess,
+    DynamicCobraProcess,
+    dynamic_cover_time_samples,
+    dynamic_infection_time_samples,
+    run_seed_pairs,
+)
+from .providers import ChurnSequence, EdgeMarkovianSequence, RewiringSequence
+from .sequence import (
+    FrozenSequence,
+    GraphSequence,
+    MarkovGraphSequence,
+    SnapshotSchedule,
+)
+
+__all__ = [
+    "GraphSequence",
+    "MarkovGraphSequence",
+    "FrozenSequence",
+    "SnapshotSchedule",
+    "EdgeMarkovianSequence",
+    "RewiringSequence",
+    "ChurnSequence",
+    "DynamicCobraProcess",
+    "DynamicBipsProcess",
+    "dynamic_cover_time_samples",
+    "dynamic_infection_time_samples",
+    "run_seed_pairs",
+]

@@ -1,0 +1,370 @@
+"""Dynamic COBRA / BIPS runners over a :class:`GraphSequence`.
+
+The runners reuse the static vectorised kernels unchanged: each round
+``t`` fetches the snapshot ``G_t`` and calls the corresponding static
+``step`` (:meth:`repro.core.cobra.CobraProcess.step` /
+:meth:`repro.core.bips.BipsProcess.step`) against it, so per-round cost
+is identical to the static engines plus the sequence's advance cost.
+Per-snapshot process objects are memoised in a small LRU keyed on the
+snapshot object, so sequences that reuse snapshots (frozen, schedules,
+quiet rounds) skip process re-construction entirely.
+
+Randomness contract: a runner consumes exactly one
+:class:`numpy.random.Generator` for *process* randomness, while the
+sequence owns its private *topology* stream.  On a
+:class:`~repro.dynamics.sequence.FrozenSequence` the per-round draws
+are bit-identical to the static engines', so frozen dynamic runs
+reproduce static cover/infection samples exactly under the same seed —
+the regression anchor for duality/coupling audits on dynamic graphs.
+
+Snapshots may be momentarily disconnected or contain degree-zero
+vertices (churned-out peers, edge-Markovian lulls).  COBRA particles
+on an isolated vertex hold their position for the round; an isolated
+vertex cannot be infected by BIPS (its selections are empty) and drops
+out of the infected set unless it is the persistent source.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bips import BipsProcess, default_infection_cap
+from ..core.branching import BranchingPolicy, FixedBranching, make_policy
+from ..core.cobra import CobraProcess, default_round_cap
+from ..core.state import BipsResult, CobraResult
+from ..graphs.graph import Graph
+from ..stats.rng import spawn_seeds
+from .sequence import GraphSequence, _LRUCache
+
+__all__ = [
+    "DynamicCobraProcess",
+    "DynamicBipsProcess",
+    "dynamic_cover_time_samples",
+    "dynamic_infection_time_samples",
+    "run_seed_pairs",
+]
+
+
+def _check_start(sequence: GraphSequence, vertex: int) -> int:
+    vertex = int(vertex)
+    if not 0 <= vertex < sequence.n:
+        raise ValueError(f"vertex {vertex} out of range [0, {sequence.n})")
+    return vertex
+
+
+class _SnapshotProcessCache:
+    """LRU of per-snapshot process objects, keyed on snapshot identity.
+
+    Keys are ``id(graph)``; every cached value holds a strong reference
+    to its graph (``proc.graph``), so a live key can never be recycled
+    for a different snapshot.
+    """
+
+    def __init__(self, build, capacity: int) -> None:
+        self._build = build
+        self._lru = _LRUCache(capacity)
+
+    def get(self, graph: Graph):
+        proc = self._lru.get(id(graph))
+        if proc is None or proc.graph is not graph:
+            proc = self._build(graph)
+            self._lru.put(id(graph), proc)
+        return proc
+
+
+class DynamicCobraProcess:
+    """COBRA on a time-evolving graph.
+
+    The round-``t`` active set makes its selections on snapshot
+    ``sequence.graph_at(t)``, producing ``C_{t+1}``.  Parameters mirror
+    :class:`~repro.core.cobra.CobraProcess` with the graph replaced by
+    a :class:`~repro.dynamics.sequence.GraphSequence`.
+    """
+
+    def __init__(
+        self,
+        sequence: GraphSequence,
+        branching: BranchingPolicy | int | float = 2,
+        *,
+        lazy: bool = False,
+        cache_size: int = 8,
+    ) -> None:
+        self.sequence = sequence
+        self.policy = make_policy(branching)
+        self.lazy = lazy
+        self._procs = _SnapshotProcessCache(
+            lambda g: CobraProcess(g, self.policy, lazy=self.lazy, validate=False),
+            cache_size,
+        )
+
+    # ------------------------------------------------------------------
+    def step_at(
+        self, t: int, active: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Advance the active set one round on the round-``t`` snapshot."""
+        graph = self.sequence.graph_at(t)
+        proc = self._procs.get(graph)
+        active = np.asarray(active, dtype=np.int64)
+        stranded = graph.degrees[active] == 0
+        if not stranded.any():
+            return proc.step(active, rng)
+        movers = active[~stranded]
+        if movers.size == 0:
+            return active.copy()
+        return np.union1d(proc.step(movers, rng), active[stranded])
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        start: int | np.ndarray,
+        rng: np.random.Generator,
+        *,
+        max_rounds: int | None = None,
+        record: bool = False,
+    ) -> CobraResult:
+        """Run until all ``n`` vertices have been visited (or the cap)."""
+        n = self.sequence.n
+        if np.ndim(start) == 0:
+            active = np.array([_check_start(self.sequence, start)], dtype=np.int64)
+        else:
+            active = np.unique(np.asarray(list(start), dtype=np.int64))
+            if active.size == 0 or active[0] < 0 or active[-1] >= n:
+                raise ValueError(f"start set must be nonempty within [0, {n})")
+        cap = (
+            default_round_cap(self.sequence.graph_at(0))
+            if max_rounds is None
+            else int(max_rounds)
+        )
+
+        hit = np.full(n, -1, dtype=np.int64)
+        hit[active] = 0
+        uncovered = n - active.shape[0]
+        sizes = [active.shape[0]] if record else None
+        visited_counts = [n - uncovered] if record else None
+
+        t = 0
+        while uncovered > 0 and t < cap:
+            active = self.step_at(t, active, rng)
+            t += 1
+            fresh = active[hit[active] < 0]
+            hit[fresh] = t
+            uncovered -= fresh.shape[0]
+            if record:
+                sizes.append(active.shape[0])
+                visited_counts.append(n - uncovered)
+
+        return CobraResult(
+            covered=(uncovered == 0),
+            cover_time=t if uncovered == 0 else -1,
+            rounds_run=t,
+            hit_times=hit,
+            active_sizes=np.asarray(sizes if record else [], dtype=np.int64),
+            visited_counts=np.asarray(
+                visited_counts if record else [], dtype=np.int64
+            ),
+        )
+
+
+class DynamicBipsProcess:
+    """BIPS with a persistent source on a time-evolving graph.
+
+    The round-``t`` infection step runs on ``sequence.graph_at(t)``.
+    Snapshots with isolated vertices take a masked fallback path with
+    the same selection semantics restricted to degree-positive vertices.
+    """
+
+    def __init__(
+        self,
+        sequence: GraphSequence,
+        source: int,
+        branching: BranchingPolicy | int | float = 2,
+        *,
+        lazy: bool = False,
+        cache_size: int = 8,
+    ) -> None:
+        self.sequence = sequence
+        self.source = _check_start(sequence, source)
+        self.policy = make_policy(branching)
+        self.lazy = lazy
+        self._procs = _SnapshotProcessCache(
+            lambda g: BipsProcess(
+                g, self.source, self.policy, lazy=self.lazy, validate=False
+            ),
+            cache_size,
+        )
+
+    # ------------------------------------------------------------------
+    def _select(
+        self, graph: Graph, actors: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        targets = graph.sample_neighbors(actors, rng)
+        if self.lazy:
+            stay = rng.random(actors.shape[0]) < 0.5
+            targets = np.where(stay, actors, targets)
+        return targets
+
+    def _step_with_isolated(
+        self, graph: Graph, infected: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        live = np.nonzero(graph.degrees > 0)[0]
+        nxt = np.zeros(graph.n, dtype=bool)
+        if live.size:
+            pick = self._select(graph, live, rng)
+            nxt[live] = infected[pick]
+            if isinstance(self.policy, FixedBranching) and self.policy.b >= 2:
+                for _ in range(self.policy.b - 1):
+                    pick = self._select(graph, live, rng)
+                    nxt[live] |= infected[pick]
+            else:
+                p2 = self.policy.second_selection_probability()
+                if p2 > 0.0:
+                    actors = live[rng.random(live.shape[0]) < p2]
+                    if actors.size:
+                        nxt[actors] |= infected[self._select(graph, actors, rng)]
+        nxt[self.source] = True
+        return nxt
+
+    def step_at(
+        self, t: int, infected: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One infection round on the round-``t`` snapshot."""
+        graph = self.sequence.graph_at(t)
+        infected = np.asarray(infected, dtype=bool)
+        if infected.shape != (graph.n,):
+            raise ValueError(f"infected mask must have shape ({graph.n},)")
+        if graph.dmin >= 1:
+            return self._procs.get(graph).step(infected, rng)
+        return self._step_with_isolated(graph, infected, rng)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        rng: np.random.Generator,
+        *,
+        max_rounds: int | None = None,
+        record_degrees: bool = False,
+    ) -> BipsResult:
+        """Run until all ``n`` vertices are infected at once (or the cap)."""
+        n = self.sequence.n
+        infected = np.zeros(n, dtype=bool)
+        infected[self.source] = True
+        cap = (
+            default_infection_cap(self.sequence.graph_at(0))
+            if max_rounds is None
+            else int(max_rounds)
+        )
+
+        sizes = [int(infected.sum())]
+        degree_sizes = (
+            [int(self.sequence.graph_at(0).degrees[infected].sum())]
+            if record_degrees
+            else None
+        )
+
+        t = 0
+        while not infected.all() and t < cap:
+            infected = self.step_at(t, infected, rng)
+            t += 1
+            sizes.append(int(infected.sum()))
+            if record_degrees:
+                degree_sizes.append(
+                    int(self.sequence.graph_at(t).degrees[infected].sum())
+                )
+
+        done = bool(infected.all())
+        return BipsResult(
+            infected_all=done,
+            infection_time=t if done else -1,
+            rounds_run=t,
+            sizes=np.asarray(sizes, dtype=np.int64),
+            degree_sizes=np.asarray(
+                degree_sizes if record_degrees else [], dtype=np.int64
+            ),
+            candidate_sizes=np.asarray([], dtype=np.int64),
+            final_infected=infected,
+        )
+
+
+# ----------------------------------------------------------------------
+# Seeding and sampling helpers
+# ----------------------------------------------------------------------
+def run_seed_pairs(
+    seed: int | np.random.SeedSequence, runs: int
+) -> list[tuple[np.random.SeedSequence, np.random.SeedSequence]]:
+    """Spawn ``(topology, process)`` seed pairs, one per run.
+
+    This is the published spawning discipline of the samplers below:
+    one child per run, each split into a topology stream (fed to the
+    sequence factory) and a process stream (fed to the runner) — so
+    audits can regenerate either stream independently.
+    """
+    return [tuple(child.spawn(2)) for child in spawn_seeds(seed, runs)]
+
+
+def _resolve_sequence(sequence, topology_seed) -> GraphSequence:
+    if isinstance(sequence, GraphSequence):
+        return sequence
+    if callable(sequence):
+        made = sequence(topology_seed)
+        if not isinstance(made, GraphSequence):
+            raise TypeError("sequence factory must return a GraphSequence")
+        return made
+    raise TypeError("expected a GraphSequence or a factory seed -> GraphSequence")
+
+
+def dynamic_cover_time_samples(
+    sequence,
+    runs: int = 32,
+    *,
+    start: int = 0,
+    branching: BranchingPolicy | int | float = 2,
+    lazy: bool = False,
+    seed: int | np.random.SeedSequence = 0,
+    max_rounds: int | None = None,
+) -> np.ndarray:
+    """Sample dynamic COBRA cover times ``runs`` times.
+
+    ``sequence`` is either a shared :class:`GraphSequence` (every run
+    replays the same topology realisation) or a factory
+    ``topology_seed -> GraphSequence`` (every run draws an independent
+    realisation).  Raises if any run hits the round cap.
+    """
+    times = np.empty(int(runs), dtype=np.int64)
+    for i, (topo_seed, proc_seed) in enumerate(run_seed_pairs(seed, int(runs))):
+        seq = _resolve_sequence(sequence, topo_seed)
+        proc = DynamicCobraProcess(seq, branching, lazy=lazy)
+        result = proc.run(
+            start, np.random.default_rng(proc_seed), max_rounds=max_rounds
+        )
+        if not result.covered:
+            raise RuntimeError(
+                f"dynamic COBRA run {i} on {seq.name} hit the round cap "
+                f"({result.rounds_run} rounds)"
+            )
+        times[i] = result.cover_time
+    return times
+
+
+def dynamic_infection_time_samples(
+    sequence,
+    runs: int = 32,
+    *,
+    source: int = 0,
+    branching: BranchingPolicy | int | float = 2,
+    lazy: bool = False,
+    seed: int | np.random.SeedSequence = 0,
+    max_rounds: int | None = None,
+) -> np.ndarray:
+    """Sample dynamic BIPS infection times ``runs`` times (see above)."""
+    times = np.empty(int(runs), dtype=np.int64)
+    for i, (topo_seed, proc_seed) in enumerate(run_seed_pairs(seed, int(runs))):
+        seq = _resolve_sequence(sequence, topo_seed)
+        proc = DynamicBipsProcess(seq, source, branching, lazy=lazy)
+        result = proc.run(np.random.default_rng(proc_seed), max_rounds=max_rounds)
+        if not result.infected_all:
+            raise RuntimeError(
+                f"dynamic BIPS run {i} on {seq.name} hit the round cap "
+                f"({result.rounds_run} rounds)"
+            )
+        times[i] = result.infection_time
+    return times

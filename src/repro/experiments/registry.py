@@ -1,4 +1,4 @@
-"""Registry mapping experiment ids (E1..E12) to their modules."""
+"""Registry mapping experiment ids (E1..E16) to their modules."""
 
 from __future__ import annotations
 
@@ -21,6 +21,7 @@ from . import (
     e13_lazy_ablation,
     e14_branching_returns,
     e15_worst_case_conjecture,
+    e16_dynamic_cover,
 )
 from .config import ExperimentConfig
 from .runner import ExperimentResult
@@ -54,6 +55,7 @@ _MODULES = [
     (e13_lazy_ablation, "Ablation: the cost of the lazy (bipartite) fix"),
     (e14_branching_returns, "Ablation: branching factor b beyond 2"),
     (e15_worst_case_conjecture, "Conclusions: the O(n log n) worst-case conjecture"),
+    (e16_dynamic_cover, "Extension: COBRA/BIPS on time-evolving graphs"),
 ]
 
 EXPERIMENTS: dict[str, ExperimentSpec] = {

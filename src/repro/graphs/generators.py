@@ -18,6 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..stats.rng import generator_from
 from .graph import Graph
 
 __all__ = [
@@ -41,12 +42,6 @@ __all__ = [
     "ring_of_cliques",
     "caterpillar_graph",
 ]
-
-
-def _as_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
-    if isinstance(rng, np.random.Generator):
-        return rng
-    return np.random.default_rng(rng)
 
 
 def complete_graph(n: int) -> Graph:
@@ -193,7 +188,7 @@ def random_regular_graph(
         raise ValueError("n * r must be even")
     if not 3 <= r < n:
         raise ValueError("need 3 <= r < n for a connected regular graph")
-    gen = _as_rng(rng)
+    gen = generator_from(rng)
     stubs = np.repeat(np.arange(n, dtype=np.int64), r)
     for _ in range(max_tries):
         perm = gen.permutation(stubs)
@@ -227,7 +222,7 @@ def erdos_renyi_graph(
         p = min(1.0, 2.0 * np.log(n) / n)
     if not 0.0 < p <= 1.0:
         raise ValueError("p must be in (0, 1]")
-    gen = _as_rng(rng)
+    gen = generator_from(rng)
     iu, iv = np.triu_indices(n, k=1)
     for _ in range(max_tries):
         mask = gen.random(iu.shape[0]) < p

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats as sps
 
+from .rng import generator_from
+
 __all__ = ["ComparisonResult", "ks_compare", "permutation_mean_test", "same_distribution"]
 
 
@@ -62,7 +64,7 @@ def permutation_mean_test(
     mean differences at least as extreme as the observed one (with the
     +1 correction so the p-value is never 0).
     """
-    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    gen = generator_from(rng)
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
     if a.size == 0 or b.size == 0:

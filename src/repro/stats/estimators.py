@@ -12,6 +12,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats as sps
 
+from .rng import generator_from
+
 __all__ = [
     "Estimate",
     "mean_ci",
@@ -79,7 +81,7 @@ def quantile_estimate(
         raise ValueError("no samples")
     if not 0.0 < q < 1.0:
         raise ValueError("quantile must be in (0, 1)")
-    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    gen = generator_from(rng)
     point = float(np.quantile(x, q))
     if x.size == 1:
         return Estimate(point, point, point, 1, confidence)
@@ -117,7 +119,7 @@ def bootstrap_ci(
     x = np.asarray(samples, dtype=np.float64)
     if x.size == 0:
         raise ValueError("no samples")
-    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    gen = generator_from(rng)
     point = float(statistic(x))
     idx = gen.integers(0, x.size, size=(n_boot, x.size))
     boots = np.array([statistic(x[row]) for row in idx], dtype=np.float64)

@@ -1,0 +1,180 @@
+"""Dynamic COBRA/BIPS runners: static regression, determinism, churn."""
+
+import numpy as np
+import pytest
+
+from repro.core import BipsProcess, CobraProcess
+from repro.dynamics import (
+    ChurnSequence,
+    DynamicBipsProcess,
+    DynamicCobraProcess,
+    EdgeMarkovianSequence,
+    FrozenSequence,
+    RewiringSequence,
+    dynamic_cover_time_samples,
+    dynamic_infection_time_samples,
+    run_seed_pairs,
+)
+from repro.graphs import Graph, cycle_graph, random_regular_graph
+
+
+@pytest.fixture(scope="module")
+def expander():
+    return random_regular_graph(48, 4, rng=11)
+
+
+class TestFrozenMatchesStatic:
+    """The rate-0 regression contract: frozen dynamic == static, exactly."""
+
+    def test_cobra_run_exact(self, expander):
+        frozen = FrozenSequence(expander)
+        for seed in range(6):
+            dynamic = DynamicCobraProcess(frozen).run(
+                0, np.random.default_rng(seed)
+            )
+            static = CobraProcess(expander).run(0, np.random.default_rng(seed))
+            assert dynamic.cover_time == static.cover_time
+            assert np.array_equal(dynamic.hit_times, static.hit_times)
+
+    def test_cobra_lazy_and_bernoulli_branching(self, expander):
+        frozen = FrozenSequence(expander)
+        for branching, lazy in ((2, True), (1.5, False), (3, False)):
+            dynamic = DynamicCobraProcess(frozen, branching, lazy=lazy).run(
+                0, np.random.default_rng(7)
+            )
+            static = CobraProcess(expander, branching, lazy=lazy).run(
+                0, np.random.default_rng(7)
+            )
+            assert dynamic.cover_time == static.cover_time
+
+    def test_bips_run_exact(self, expander):
+        frozen = FrozenSequence(expander)
+        for seed in range(6):
+            dynamic = DynamicBipsProcess(frozen, 0).run(np.random.default_rng(seed))
+            static = BipsProcess(expander, 0).run(np.random.default_rng(seed))
+            assert dynamic.infection_time == static.infection_time
+            assert np.array_equal(dynamic.sizes, static.sizes)
+
+    def test_cover_time_samples_exact(self, expander):
+        frozen = FrozenSequence(expander)
+        dynamic = dynamic_cover_time_samples(frozen, 12, seed=99)
+        proc = CobraProcess(expander)
+        static = np.array(
+            [
+                proc.run(0, np.random.default_rng(proc_seed)).cover_time
+                for _, proc_seed in run_seed_pairs(99, 12)
+            ]
+        )
+        assert np.array_equal(dynamic, static)
+
+
+class TestDeterminism:
+    def test_same_seeds_identical_cover_samples(self, expander):
+        factory = lambda topo: RewiringSequence(expander, 8, seed=topo)  # noqa: E731
+        a = dynamic_cover_time_samples(factory, 10, seed=42)
+        b = dynamic_cover_time_samples(factory, 10, seed=42)
+        assert np.array_equal(a, b)
+
+    def test_same_seeds_identical_infection_samples(self, expander):
+        factory = lambda topo: EdgeMarkovianSequence(  # noqa: E731
+            expander, 0.02, 0.2, seed=topo
+        )
+        a = dynamic_infection_time_samples(factory, 6, seed=5)
+        b = dynamic_infection_time_samples(factory, 6, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self, expander):
+        factory = lambda topo: RewiringSequence(expander, 8, seed=topo)  # noqa: E731
+        a = dynamic_cover_time_samples(factory, 10, seed=42)
+        b = dynamic_cover_time_samples(factory, 10, seed=43)
+        assert not np.array_equal(a, b)
+
+    def test_topology_and_process_streams_separate(self, expander):
+        """A shared sequence replays identically for both samplers."""
+        shared = RewiringSequence(expander, 8, seed=3)
+        a = dynamic_cover_time_samples(shared, 5, seed=1)
+        snapshots = [shared.graph_at(t) for t in range(5)]
+        b = dynamic_cover_time_samples(shared, 5, seed=1)
+        assert np.array_equal(a, b)
+        assert all(shared.graph_at(t) == snapshots[t] for t in range(5))
+
+
+class TestChurnAndIsolation:
+    def test_cobra_particles_survive_churn(self):
+        base = random_regular_graph(32, 3, rng=2)
+        seq = ChurnSequence(base, leave=0.2, rejoin=0.5, seed=5)
+        result = DynamicCobraProcess(seq).run(0, np.random.default_rng(0))
+        assert result.covered
+        assert result.cover_time >= 1
+
+    def test_bips_source_persists_under_churn(self):
+        base = random_regular_graph(32, 3, rng=2)
+        seq = ChurnSequence(base, leave=0.1, rejoin=0.6, seed=5)
+        proc = DynamicBipsProcess(seq, 0)
+        rng = np.random.default_rng(1)
+        infected = np.zeros(32, dtype=bool)
+        infected[0] = True
+        for t in range(40):
+            infected = proc.step_at(t, infected, rng)
+            assert infected[0]
+
+    def test_isolated_vertices_cannot_be_infected(self):
+        # Star minus the hub: all leaves isolated.
+        hubless = Graph(4, [(0, 1)], name="pair-plus-isolated")
+        seq = FrozenSequence(hubless)
+        proc = DynamicBipsProcess(seq, 0)
+        infected = np.zeros(4, dtype=bool)
+        infected[0] = True
+        nxt = proc.step_at(0, infected, np.random.default_rng(0))
+        assert not nxt[2] and not nxt[3]
+
+    def test_stranded_cobra_particle_stays_put(self):
+        stranded = Graph(3, [(0, 1)], name="stranded")
+        proc = DynamicCobraProcess(FrozenSequence(stranded))
+        nxt = proc.step_at(0, np.array([2]), np.random.default_rng(0))
+        assert np.array_equal(nxt, [2])
+
+    def test_cap_reported_not_raised_on_run(self):
+        stranded = Graph(3, [(0, 1)], name="stranded")
+        result = DynamicCobraProcess(FrozenSequence(stranded)).run(
+            0, np.random.default_rng(0), max_rounds=5
+        )
+        assert not result.covered
+        assert result.cover_time == -1
+
+    def test_sampler_raises_on_cap(self):
+        stranded = Graph(3, [(0, 1)], name="stranded")
+        with pytest.raises(RuntimeError, match="round cap"):
+            dynamic_cover_time_samples(
+                FrozenSequence(stranded), 2, seed=0, max_rounds=5
+            )
+
+
+class TestValidateFlag:
+    """Core engines accept disconnected snapshot views when asked."""
+
+    def test_cobra_validate_false_allows_disconnected(self):
+        disconnected = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError, match="connected"):
+            CobraProcess(disconnected)
+        proc = CobraProcess(disconnected, validate=False)
+        nxt = proc.step(np.array([0]), np.random.default_rng(0))
+        assert nxt.size >= 1
+
+    def test_bips_validate_false_allows_disconnected(self):
+        disconnected = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError, match="connected"):
+            BipsProcess(disconnected, 0)
+        proc = BipsProcess(disconnected, 0, validate=False)
+        infected = np.zeros(4, dtype=bool)
+        infected[0] = True
+        assert proc.step(infected, np.random.default_rng(0))[0]
+
+
+class TestRewiredCycleSpeedup:
+    def test_scattered_frontier_covers_faster(self):
+        cycle = cycle_graph(65)
+        static = dynamic_cover_time_samples(FrozenSequence(cycle), 12, seed=1)
+        factory = lambda topo: RewiringSequence(cycle, 32, seed=topo)  # noqa: E731
+        rewired = dynamic_cover_time_samples(factory, 12, seed=1)
+        assert rewired.mean() < static.mean()

@@ -84,6 +84,50 @@ class TestCoverCommand:
         assert "mean cover time" in capsys.readouterr().out
 
 
+class TestDynamicsCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["dynamics"])
+        assert args.family == "expander"
+        assert args.kind == "rewiring"
+        assert args.rate == 0.1
+        assert args.process == "cobra"
+
+    def test_cobra_rewiring_runs(self, capsys):
+        assert (
+            main(
+                ["dynamics", "--family", "cycle", "--n", "21", "--rate", "0.3",
+                 "--runs", "5", "--seed", "1"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "dynamic COBRA" in out
+        assert "mean cover time" in out
+
+    def test_bips_churn_runs(self, capsys):
+        assert (
+            main(
+                ["dynamics", "--family", "complete", "--n", "12", "--kind",
+                 "churn", "--rate", "0.2", "--process", "bips", "--runs", "4",
+                 "--seed", "2"]
+            )
+            == 0
+        )
+        assert "mean infection time" in capsys.readouterr().out
+
+    def test_output_deterministic(self, capsys):
+        argv = ["dynamics", "--family", "expander", "--n", "32", "--rate",
+                "0.1", "--runs", "5", "--seed", "7"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["dynamics", "--rate", "1.5", "--runs", "2"])
+
+
 class TestReportCommand:
     def test_report_writes_file(self, tmp_path, capsys, monkeypatch):
         monkeypatch.chdir(tmp_path)
@@ -92,14 +136,14 @@ class TestReportCommand:
         ) == 0
         text = (tmp_path / "OUT.md").read_text()
         assert "# EXPERIMENTS" in text
-        assert "## E1" in text and "## E15" in text
+        assert "## E1" in text and "## E16" in text
 
 
 class TestRunAll:
     def test_run_all_smoke(self, capsys):
-        # The full-suite CLI path: all 15 experiments at smoke scale.
+        # The full-suite CLI path: all 16 experiments at smoke scale.
         assert main(["run", "all", "--scale", "smoke"]) == 0
         out = capsys.readouterr().out
-        for i in range(1, 16):
+        for i in range(1, 17):
             assert f"E{i} finished" in out
         assert "FAIL" not in out

@@ -25,6 +25,7 @@ class TestTopLevelApi:
     def test_subpackages_importable(self):
         import repro.baselines
         import repro.core
+        import repro.dynamics
         import repro.experiments
         import repro.graphs
         import repro.parallel
@@ -34,6 +35,7 @@ class TestTopLevelApi:
         for mod in (
             repro.baselines,
             repro.core,
+            repro.dynamics,
             repro.experiments,
             repro.graphs,
             repro.parallel,
