@@ -2,14 +2,25 @@
 
 These measure the vectorised kernels the experiment suite is built on —
 one COBRA round, one BIPS round (single and batched), neighbour
-sampling, and the spectral solve — so performance regressions in the
-substrate are caught independently of the experiment pipelines.
+sampling, the unified ``(R, n)`` engine's rule kernels, and the
+spectral solve — so performance regressions in the substrate are
+caught independently of the experiment pipelines.
 """
 
 import numpy as np
 import pytest
 
 from repro.core import BipsProcess, CobraProcess
+from repro.core.branching import FixedBranching
+from repro.dynamics import RewiringSequence
+from repro.engine import (
+    CobraRule,
+    FloodingRule,
+    PullRule,
+    PushRule,
+    SpreadEngine,
+    WalkRule,
+)
 from repro.graphs import hypercube_graph, random_regular_graph, second_eigenvalue
 
 
@@ -63,3 +74,68 @@ def test_bench_spectral_gap(benchmark):
     g = random_regular_graph(1024, 8, rng=3)
     lam = benchmark(second_eigenvalue, g)
     assert 0.0 < lam < 1.0
+
+
+# ----------------------------------------------------------------------
+# Unified (R, n) engine: one step of each rule kernel, and full batches
+# ----------------------------------------------------------------------
+def _informed_state(rng, runs, n, fill):
+    state = rng.random((runs, n)) < fill
+    state[:, 0] = True
+    return state
+
+
+def test_bench_engine_cobra_step(benchmark, expander, rng):
+    rule = CobraRule(FixedBranching(2))
+    state = _informed_state(rng, 64, expander.n, 0.3)
+    alive = np.ones(64, dtype=bool)
+    benchmark(rule.step, expander, state, alive, rng)
+
+
+def test_bench_engine_push_step(benchmark, expander, rng):
+    rule = PushRule()
+    state = _informed_state(rng, 64, expander.n, 0.3)
+    alive = np.ones(64, dtype=bool)
+    benchmark(rule.step, expander, state, alive, rng)
+
+
+def test_bench_engine_pull_step(benchmark, expander, rng):
+    rule = PullRule()
+    state = _informed_state(rng, 64, expander.n, 0.3)
+    alive = np.ones(64, dtype=bool)
+    benchmark(rule.step, expander, state, alive, rng)
+
+
+def test_bench_engine_walk_step(benchmark, expander, rng):
+    rule = WalkRule(8)
+    state = rng.integers(0, expander.n, size=(64, 8))
+    alive = np.ones(64, dtype=bool)
+    benchmark(rule.step, expander, state, alive, rng)
+
+
+def test_bench_engine_flooding_batch(benchmark, expander):
+    rule = FloodingRule(runs=256)
+    engine = SpreadEngine(rule, expander)
+    mask = np.zeros((256, expander.n), dtype=bool)
+    mask[np.arange(256), np.arange(256)] = True
+    state = rule.pack(mask)
+
+    def run():
+        return engine.run(state, np.random.default_rng(0)).rounds_run
+
+    rounds = benchmark(run)
+    assert rounds >= 3
+
+
+def test_bench_engine_dynamic_batch(benchmark):
+    base = random_regular_graph(512, 4, rng=5)
+    rule = CobraRule(FixedBranching(2))
+
+    def run():
+        seq = RewiringSequence(base, 16, seed=9)
+        engine = SpreadEngine(rule, seq)
+        state = np.zeros((64, base.n), dtype=bool)
+        state[:, 0] = True
+        return engine.run(state, np.random.default_rng(1)).all_finished
+
+    assert benchmark(run)

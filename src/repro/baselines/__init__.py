@@ -1,10 +1,20 @@
-"""Baseline propagation processes COBRA is compared against (E9)."""
+"""Baseline propagation processes COBRA is compared against (E9).
 
-from .flooding import flooding_broadcast_time, flooding_frontier_sizes
+Every baseline executes through the unified batched engine
+(:mod:`repro.engine`); the samplers advance all their runs inside one
+``(R, n)`` boolean program.
+"""
+
+from .flooding import (
+    flooding_broadcast_time,
+    flooding_broadcast_times,
+    flooding_frontier_sizes,
+)
 from .multi_walk import multi_walk_cover_samples, multi_walk_cover_time
 from .pull import (
     pull_broadcast_samples,
     pull_broadcast_time,
+    push_pull_broadcast_samples,
     push_pull_broadcast_time,
 )
 from .push import push_broadcast_samples, push_broadcast_time
@@ -16,11 +26,13 @@ from .random_walk import (
 
 __all__ = [
     "flooding_broadcast_time",
+    "flooding_broadcast_times",
     "flooding_frontier_sizes",
     "multi_walk_cover_samples",
     "multi_walk_cover_time",
     "pull_broadcast_samples",
     "pull_broadcast_time",
+    "push_pull_broadcast_samples",
     "push_pull_broadcast_time",
     "push_broadcast_samples",
     "push_broadcast_time",

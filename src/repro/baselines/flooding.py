@@ -6,23 +6,63 @@ and broadcast completes in ``ecc(start)`` rounds (``<= Diam(G)``).
 Flooding spends ``d(u)`` transmissions per vertex per round — the
 budget COBRA caps at ``b`` — and realises the ``Diam(G)`` part of the
 paper's universal lower bound ``max{log₂ n, Diam(G)}``.
+
+Flooding executes through the unified batched engine
+(:class:`repro.engine.SpreadEngine` with a
+:class:`~repro.engine.rules.FloodingRule`, which consumes no
+randomness): :func:`flooding_broadcast_times` expands the BFS balls of
+``R`` start vertices inside one ``(R, n)`` boolean program, which is
+also what makes flooding available on time-evolving topologies.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..engine.engine import SpreadEngine
+from ..engine.rules import FloodingRule
 from ..graphs.graph import Graph
-from ..graphs.properties import eccentricity
 from ..graphs.validation import check_vertex, require_connected
 
-__all__ = ["flooding_broadcast_time", "flooding_frontier_sizes"]
+__all__ = [
+    "flooding_broadcast_time",
+    "flooding_broadcast_times",
+    "flooding_frontier_sizes",
+]
+
+
+def _flooding_run(graph: Graph, starts: np.ndarray, record_sizes: bool):
+    """Run the engine from each start vertex (no randomness consumed)."""
+    rule = FloodingRule(runs=starts.shape[0])
+    engine = SpreadEngine(rule, graph)
+    mask = np.zeros((starts.shape[0], graph.n), dtype=bool)
+    mask[np.arange(starts.shape[0]), starts] = True
+    return engine.run(
+        rule.pack(mask), np.random.default_rng(0), record_sizes=record_sizes
+    )
 
 
 def flooding_broadcast_time(graph: Graph, start: int = 0) -> int:
     """Rounds for flooding to inform everyone — equals ``ecc(start)``."""
     require_connected(graph)
-    return eccentricity(graph, check_vertex(graph, start))
+    start = check_vertex(graph, start)
+    res = _flooding_run(graph, np.array([start], dtype=np.int64), False)
+    return int(res.finish_times[0])
+
+
+def flooding_broadcast_times(graph: Graph, starts) -> np.ndarray:
+    """Flooding broadcast times (eccentricities) for many start vertices.
+
+    All starts advance together in one ``(R, n)`` program; the result
+    is ``[ecc(s) for s in starts]``.
+    """
+    require_connected(graph)
+    starts = np.asarray(starts, dtype=np.int64)
+    if starts.ndim != 1 or starts.size == 0:
+        raise ValueError("starts must be a 1-D nonempty array of vertices")
+    if starts.min() < 0 or starts.max() >= graph.n:
+        raise ValueError(f"start vertex out of range [0, {graph.n})")
+    return _flooding_run(graph, starts, False).finish_times.copy()
 
 
 def flooding_frontier_sizes(graph: Graph, start: int = 0) -> np.ndarray:
@@ -32,7 +72,6 @@ def flooding_frontier_sizes(graph: Graph, start: int = 0) -> np.ndarray:
     above by (COBRA can never beat flooding pointwise).
     """
     require_connected(graph)
-    dist = graph.bfs_distances(check_vertex(graph, start))
-    ecc = int(dist.max())
-    counts = np.bincount(dist, minlength=ecc + 1)
-    return np.cumsum(counts)
+    start = check_vertex(graph, start)
+    res = _flooding_run(graph, np.array([start], dtype=np.int64), True)
+    return res.sizes[0].copy()

@@ -6,14 +6,23 @@ round; the cover time is the first round by which every vertex has been
 visited by some walker.  Unlike COBRA the walker population is fixed —
 no branching, no coalescing — which is exactly the dependence structure
 the paper contrasts COBRA against.
+
+Execution goes through the unified batched engine
+(:class:`repro.engine.SpreadEngine` with a
+:class:`~repro.engine.rules.WalkRule`): one run keeps an ``(1, k)``
+position row, and the sampler advances ``R`` runs (``R × k`` walkers)
+per flattened neighbour-sample.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..engine.engine import SpreadEngine
+from ..engine.rules import WalkRule
 from ..graphs.graph import Graph
 from ..graphs.validation import check_vertex, require_connected
+from ..parallel.batch import plan_batches_for
 from ..stats.rng import generator_from
 
 __all__ = ["multi_walk_cover_time", "multi_walk_cover_samples"]
@@ -31,13 +40,12 @@ def multi_walk_cover_time(
     """Cover time of ``k`` independent walkers (all from ``start`` if scalar).
 
     Each round advances all ``k`` walkers with one vectorised
-    neighbour-sample; visitation is tracked with a boolean mask.
+    neighbour-sample; visitation is tracked by the engine's ``(R, n)``
+    visited mask.
     """
     gen = generator_from(rng)
     require_connected(graph)
-    if k < 1:
-        raise ValueError("need at least one walker")
-    n = graph.n
+    rule = WalkRule(k, lazy=lazy)
     if np.ndim(start) == 0:
         positions = np.full(k, check_vertex(graph, int(start)), dtype=np.int64)
     else:
@@ -47,31 +55,14 @@ def multi_walk_cover_time(
     # Multiple walks speed up cover by between Θ(log k) and Θ(k)
     # depending on the graph (Elsässer–Sauerwald), so the safe cap is
     # the single-walk one — finishing early costs nothing.
-    cap = (
-        max_rounds
-        if max_rounds is not None
-        else int(64 * n * max(1, np.log(n)) * graph.dmax + 1000)
-    )
-    seen = np.zeros(n, dtype=bool)
-    seen[positions] = True
-    remaining = n - int(seen.sum())
-    t = 0
-    while remaining > 0 and t < cap:
-        t += 1
-        nxt = graph.sample_neighbors(positions, gen)
-        if lazy:
-            stay = gen.random(k) < 0.5
-            nxt = np.where(stay, positions, nxt)
-        positions = nxt
-        fresh = positions[~seen[positions]]
-        if fresh.size:
-            seen[fresh] = True
-            remaining = n - int(seen.sum())
-    if remaining > 0:
+    engine = SpreadEngine(rule, graph)
+    res = engine.run(positions[None, :], gen, max_rounds=max_rounds)
+    if not res.all_finished:
+        cap = engine.default_cap() if max_rounds is None else int(max_rounds)
         raise RuntimeError(
             f"{k} walks failed to cover {graph.name} within {cap} rounds"
         )
-    return t
+    return int(res.finish_times[0])
 
 
 def multi_walk_cover_samples(
@@ -83,15 +74,24 @@ def multi_walk_cover_samples(
     rng: np.random.Generator | int | None = None,
     lazy: bool = False,
     max_rounds: int | None = None,
+    batch_size: int = 256,
 ) -> np.ndarray:
-    """Sample the ``k``-walk cover time ``runs`` times."""
+    """Sample the ``k``-walk cover time ``runs`` times (batched engine)."""
     gen = generator_from(rng)
-    return np.array(
-        [
-            multi_walk_cover_time(
-                graph, k, start, rng=gen, lazy=lazy, max_rounds=max_rounds
+    require_connected(graph)
+    if runs <= 0:
+        return np.empty(0, dtype=np.int64)
+    rule = WalkRule(k, lazy=lazy)
+    engine = SpreadEngine(rule, graph)
+    v = check_vertex(graph, int(start))
+    out = []
+    for r in plan_batches_for(rule, int(runs), graph.n, max_batch=batch_size):
+        state = np.full((r, k), v, dtype=np.int64)
+        res = engine.run(state, gen, max_rounds=max_rounds)
+        if not res.all_finished:
+            cap = engine.default_cap() if max_rounds is None else int(max_rounds)
+            raise RuntimeError(
+                f"{k} walks failed to cover {graph.name} within {cap} rounds"
             )
-            for _ in range(runs)
-        ],
-        dtype=np.int64,
-    )
+        out.append(res.finish_times)
+    return np.concatenate(out)

@@ -5,14 +5,28 @@ transmission rate but covers any graph only in ``Ω(n log n)`` expected
 rounds, whereas COBRA with ``b = 2`` targets polylogarithmic cover on
 good graphs.  This module provides the walk itself plus cover/hitting
 time samplers used in the E9 comparison table.
+
+Cover sampling executes through the unified batched engine
+(:class:`repro.engine.SpreadEngine` with a single-walker
+:class:`~repro.engine.rules.WalkRule`): ``R`` independent walks advance
+one step per round inside one flattened neighbour-sample.  The engine
+draws one uniform per walker per step via
+:meth:`~repro.graphs.Graph.sample_neighbors` (the historical scalar
+loop drew its uniforms in blocks of 4096, an implementation detail that
+is *not* preserved bit-for-bit; distributions are identical).
+:func:`walk_trajectory` keeps the block-drawing fast path for
+single-trajectory inspection.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..engine.engine import SpreadEngine
+from ..engine.rules import WalkRule
 from ..graphs.graph import Graph
 from ..graphs.validation import check_vertex, require_connected
+from ..parallel.batch import plan_batches_for
 from ..stats.rng import generator_from
 
 __all__ = ["random_walk_cover_time", "random_walk_cover_samples", "walk_trajectory"]
@@ -64,32 +78,14 @@ def random_walk_cover_time(
     """
     gen = generator_from(rng)
     require_connected(graph)
-    n = graph.n
-    cap = max_steps if max_steps is not None else int(64 * n * max(1, np.log(n)) * graph.dmax + 1000)
-    pos = check_vertex(graph, start)
-    seen = np.zeros(n, dtype=bool)
-    seen[pos] = True
-    remaining = n - 1
-    indptr, indices, degrees = graph.indptr, graph.indices, graph.degrees
-    t = 0
-    block = 4096
-    while remaining > 0 and t < cap:
-        uniforms = gen.random(block)
-        stays = gen.random(block) < 0.5 if lazy else None
-        for i in range(block):
-            t += 1
-            if not (lazy and stays[i]):
-                pos = indices[indptr[pos] + int(uniforms[i] * degrees[pos])]
-                if not seen[pos]:
-                    seen[pos] = True
-                    remaining -= 1
-                    if remaining == 0:
-                        break
-            if t >= cap:
-                break
-    if remaining > 0:
+    rule = WalkRule(1, lazy=lazy)
+    engine = SpreadEngine(rule, graph)
+    state = np.array([[check_vertex(graph, start)]], dtype=np.int64)
+    res = engine.run(state, gen, max_rounds=max_steps)
+    if not res.all_finished:
+        cap = engine.default_cap() if max_steps is None else int(max_steps)
         raise RuntimeError(f"random walk failed to cover {graph.name} in {cap} steps")
-    return t
+    return int(res.finish_times[0])
 
 
 def random_walk_cover_samples(
@@ -100,15 +96,24 @@ def random_walk_cover_samples(
     rng: np.random.Generator | int | None = None,
     lazy: bool = False,
     max_steps: int | None = None,
+    batch_size: int = 256,
 ) -> np.ndarray:
-    """Sample the walk's cover time ``runs`` times."""
+    """Sample the walk's cover time ``runs`` times (batched engine)."""
     gen = generator_from(rng)
-    return np.array(
-        [
-            random_walk_cover_time(
-                graph, start, rng=gen, lazy=lazy, max_steps=max_steps
+    require_connected(graph)
+    if runs <= 0:
+        return np.empty(0, dtype=np.int64)
+    rule = WalkRule(1, lazy=lazy)
+    engine = SpreadEngine(rule, graph)
+    v = check_vertex(graph, start)
+    out = []
+    for r in plan_batches_for(rule, int(runs), graph.n, max_batch=batch_size):
+        state = np.full((r, 1), v, dtype=np.int64)
+        res = engine.run(state, gen, max_rounds=max_steps)
+        if not res.all_finished:
+            cap = engine.default_cap() if max_steps is None else int(max_steps)
+            raise RuntimeError(
+                f"random walk failed to cover {graph.name} in {cap} steps"
             )
-            for _ in range(runs)
-        ],
-        dtype=np.int64,
-    )
+        out.append(res.finish_times)
+    return np.concatenate(out)

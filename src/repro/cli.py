@@ -114,6 +114,20 @@ def build_parser() -> argparse.ArgumentParser:
     dyn_p.add_argument("--branching", type=float, default=2.0)
     dyn_p.add_argument("--lazy", action="store_true")
     dyn_p.add_argument("--seed", type=int, default=0)
+    dyn_p.add_argument(
+        "--completion",
+        choices=("all-vertices", "all-active"),
+        default="all-vertices",
+        help="completion criterion: all n vertices, or only the vertices "
+        "present in the current snapshot (churn-aware)",
+    )
+    dyn_p.add_argument(
+        "--independent",
+        action="store_true",
+        help="draw an independent topology realisation per run (slow "
+        "scalar loop) instead of the default batched runner, which "
+        "advances all runs on one shared realisation at hardware speed",
+    )
     return parser
 
 
@@ -322,7 +336,9 @@ def _cmd_dynamics(args: argparse.Namespace) -> int:
     import numpy as np
 
     from .dynamics import (
+        dynamic_cover_time_batch,
         dynamic_cover_time_samples,
+        dynamic_infection_time_batch,
         dynamic_infection_time_samples,
     )
     from .stats import mean_ci, whp_quantile
@@ -336,37 +352,48 @@ def _cmd_dynamics(args: argparse.Namespace) -> int:
     except ValueError as exc:
         raise SystemExit(f"cannot build a {args.family} base graph: {exc}")
     label, factory = _dynamics_sequence_factory(args, base)
+    if args.independent:
+        sample_cover = dynamic_cover_time_samples
+        sample_infec = dynamic_infection_time_samples
+        mode = "independent realisations (per-run loop)"
+    else:
+        sample_cover = dynamic_cover_time_batch
+        sample_infec = dynamic_infection_time_batch
+        mode = "batched (R, n) engine, shared realisation"
     try:
         if args.process == "cobra":
-            samples = dynamic_cover_time_samples(
+            samples = sample_cover(
                 factory,
                 args.runs,
                 branching=args.branching,
                 lazy=args.lazy,
                 seed=args.seed,
+                completion=args.completion,
             )
             measured = "cover time"
         else:
-            samples = dynamic_infection_time_samples(
+            samples = sample_infec(
                 factory,
                 args.runs,
                 branching=args.branching,
                 lazy=args.lazy,
                 seed=args.seed,
+                completion=args.completion,
             )
             measured = "infection time"
     except RuntimeError as exc:
         raise SystemExit(
             f"{exc}\nhint: under heavy churn, full coverage/infection of all "
-            "n vertices may be unreachable — lower --rate (BIPS needs every "
-            "vertex present and infected simultaneously)"
+            "n vertices may be unreachable — lower --rate or pass "
+            "--completion all-active (count only currently-present vertices)"
         )
     stat_rng = np.random.default_rng(args.seed)
     print(
         f"dynamic {args.process.upper()} on {base!r}\n"
         f"  dynamics  : {label}\n"
+        f"  execution : {mode}\n"
         f"  runs={args.runs} b={args.branching:g} lazy={args.lazy} "
-        f"seed={args.seed}"
+        f"seed={args.seed} completion={args.completion}"
     )
     print(f"  mean {measured:14}: {mean_ci(samples)}")
     print(f"  95th percentile    : {whp_quantile(samples, rng=stat_rng)}")

@@ -9,24 +9,31 @@ vertices refresh their status every round (SIS dynamics).
 
 BIPS is the time-reversed dual of COBRA (Theorem 1.3); the paper's new
 cover-time bounds are proven by bounding the BIPS infection time
-(Theorems 1.4 and 1.5).  This engine therefore exposes everything the
+(Theorems 1.4 and 1.5).  This module therefore exposes everything the
 proofs track: ``|A_t|``, the degree ``d(A_t)`` of Section 3, and the
 candidate sets ``C_t`` of eq. (6) used by Corollaries 5.2/5.3.
 
-One round costs O(b·n) vectorised work; the batch runner advances ``R``
-runs with (R, n) boolean state updated in place.
+Execution is delegated to the unified batched engine
+(:mod:`repro.engine`): :class:`BipsProcess` binds a
+:class:`~repro.engine.rules.BipsRule` to a static graph.  ``run`` uses
+the rule's ``"single"`` randomness discipline (the historical
+single-run draw order) at ``R = 1``; ``run_batch`` uses the ``"batch"``
+discipline (the historical tiled draw order).  Both are seed-for-seed
+compatible with the pre-engine implementations.
 """
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
+from ..engine.caps import process_round_cap
+from ..engine.engine import SpreadEngine
+from ..engine.rules import BipsRule
 from ..graphs.graph import Graph
 from ..graphs.validation import check_vertex, require_connected
+from ..parallel.batch import plan_batches_for
 from ..stats.rng import generator_from
-from .branching import BranchingPolicy, FixedBranching, make_policy
+from .branching import BranchingPolicy, make_policy
 from .state import BipsBatchResult, BipsResult
 
 __all__ = [
@@ -44,10 +51,9 @@ def default_infection_cap(graph: Graph) -> int:
 
     Theorem 1.4 guarantees infection within ``O(m + dmax² log n)`` with
     probability ``1 − O(1/n³)``, so ``64×`` that is effectively certain.
+    Delegates to :func:`repro.engine.caps.process_round_cap`.
     """
-    n = graph.n
-    bound = graph.m + graph.dmax**2 * max(1.0, math.log(n))
-    return int(64 * bound + 1000)
+    return process_round_cap(graph.n, graph.m, graph.dmax)
 
 
 def fixed_set(graph: Graph, infected: np.ndarray) -> np.ndarray:
@@ -102,16 +108,16 @@ class BipsProcess:
         self.source = check_vertex(graph, source)
         self.policy = make_policy(branching)
         self.lazy = lazy
-        self._all_vertices = np.arange(graph.n, dtype=np.int64)
+        self.rule_single = BipsRule(
+            self.policy, self.source, lazy=self.lazy, discipline="single"
+        )
+        self.rule_batch = BipsRule(
+            self.policy, self.source, lazy=self.lazy, discipline="batch"
+        )
+        self._engine_single = SpreadEngine(self.rule_single, graph)
+        self._engine_batch = SpreadEngine(self.rule_batch, graph)
 
     # ------------------------------------------------------------------
-    def _select(self, actors: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        targets = self.graph.sample_neighbors(actors, rng)
-        if self.lazy:
-            stay = rng.random(actors.shape[0]) < 0.5
-            targets = np.where(stay, actors, targets)
-        return targets
-
     def step(self, infected: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """One parallel round: return the next infected boolean mask.
 
@@ -123,44 +129,17 @@ class BipsProcess:
         infected = np.asarray(infected, dtype=bool)
         if infected.shape != (g.n,):
             raise ValueError(f"infected mask must have shape ({g.n},)")
-
-        pick = self._select(self._all_vertices, rng)
-        nxt = infected[pick]
-        if isinstance(self.policy, FixedBranching) and self.policy.b >= 2:
-            for _ in range(self.policy.b - 1):
-                pick = self._select(self._all_vertices, rng)
-                nxt |= infected[pick]
-        else:
-            p2 = self.policy.second_selection_probability()
-            if p2 > 0.0:
-                second = rng.random(g.n) < p2
-                actors = self._all_vertices[second]
-                pick2 = self._select(actors, rng)
-                nxt[actors] |= infected[pick2]
-        nxt[self.source] = True
-        return nxt
+        return self.rule_single.step(
+            g, infected[None, :], np.ones(1, dtype=bool), rng
+        )[0]
 
     def step_batch(
         self, infected: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
         """One parallel round for ``R`` runs at once: ``(R, n) → (R, n)``."""
-        g = self.graph
-        runs = infected.shape[0]
-        verts_tile = np.tile(self._all_vertices, runs)
-        pick = self._select(verts_tile, rng).reshape(runs, g.n)
-        nxt = np.take_along_axis(infected, pick, axis=1)
-        if isinstance(self.policy, FixedBranching):
-            for _ in range(self.policy.b - 1):
-                pick = self._select(verts_tile, rng).reshape(runs, g.n)
-                nxt |= np.take_along_axis(infected, pick, axis=1)
-        else:
-            p2 = self.policy.second_selection_probability()
-            if p2 > 0.0:
-                pick = self._select(verts_tile, rng).reshape(runs, g.n)
-                second = rng.random((runs, g.n)) < p2
-                nxt |= np.take_along_axis(infected, pick, axis=1) & second
-        nxt[:, self.source] = True
-        return nxt
+        return self.rule_batch.step(
+            self.graph, infected, np.ones(infected.shape[0], dtype=bool), rng
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -176,6 +155,8 @@ class BipsProcess:
 
         ``initial`` optionally overrides ``A_0`` (must contain the
         source); the proofs' restart/monotonicity arguments use this.
+        Internally the batched engine at ``R = 1`` with the single-run
+        randomness discipline.
         """
         g = self.graph
         if initial is None:
@@ -185,37 +166,42 @@ class BipsProcess:
             infected = np.array(initial, dtype=bool)
             if infected.shape != (g.n,) or not infected[self.source]:
                 raise ValueError("initial set must be a mask containing the source")
-        cap = default_infection_cap(g) if max_rounds is None else int(max_rounds)
 
-        sizes = [int(infected.sum())]
-        degree_sizes = [g.degrees[infected].sum()] if record_degrees else None
+        degree_sizes = [] if record_degrees else None
         candidate_sizes = [] if record_candidates else None
 
-        t = 0
-        while not infected.all() and t < cap:
+        def observe(t: int, graph: Graph, state: np.ndarray) -> None:
+            if record_degrees:
+                degree_sizes.append(int(graph.degrees[state[0]].sum()))
             if record_candidates:
                 candidate_sizes.append(
-                    int(candidate_set(g, infected, self.source).sum())
+                    int(candidate_set(graph, state[0], self.source).sum())
                 )
-            t += 1
-            infected = self.step(infected, rng)
-            sizes.append(int(infected.sum()))
-            if record_degrees:
-                degree_sizes.append(int(g.degrees[infected].sum()))
 
-        done = bool(infected.all())
+        res = self._engine_single.run(
+            infected[None, :],
+            rng,
+            max_rounds=max_rounds,
+            record_sizes=True,
+            on_round=observe if (record_degrees or record_candidates) else None,
+        )
+        final = res.final_state[0]
+        if record_degrees:
+            degree_sizes.append(int(g.degrees[final].sum()))
+
+        done = bool(res.finish_times[0] >= 0)
         return BipsResult(
             infected_all=done,
-            infection_time=t if done else -1,
-            rounds_run=t,
-            sizes=np.asarray(sizes, dtype=np.int64),
+            infection_time=int(res.finish_times[0]) if done else -1,
+            rounds_run=res.rounds_run,
+            sizes=res.sizes[0].copy(),
             degree_sizes=np.asarray(
                 degree_sizes if record_degrees else [], dtype=np.int64
             ),
             candidate_sizes=np.asarray(
                 candidate_sizes if record_candidates else [], dtype=np.int64
             ),
-            final_infected=infected,
+            final_infected=final.copy(),
         )
 
     # ------------------------------------------------------------------
@@ -235,31 +221,16 @@ class BipsProcess:
         g = self.graph
         if runs < 1:
             raise ValueError("need at least one run")
-        cap = default_infection_cap(g) if max_rounds is None else int(max_rounds)
-
         infected = np.zeros((runs, g.n), dtype=bool)
         infected[:, self.source] = True
-        times = np.full(runs, -1, dtype=np.int64)
-        if g.n == 1:
-            times[:] = 0
-        sizes = [infected.sum(axis=1)] if record_sizes else None
 
-        t = 0
-        while np.any(times < 0) and t < cap:
-            t += 1
-            alive = times < 0
-            nxt = self.step_batch(infected, rng)
-            # Freeze finished runs at all-infected.
-            infected = np.where(alive[:, None], nxt, infected)
-            done_now = alive & infected.all(axis=1)
-            times[done_now] = t
-            if record_sizes:
-                sizes.append(infected.sum(axis=1))
-
+        res = self._engine_batch.run(
+            infected, rng, max_rounds=max_rounds, record_sizes=record_sizes
+        )
         return BipsBatchResult(
-            infection_times=times,
-            rounds_run=t,
-            sizes=np.column_stack(sizes) if record_sizes else None,
+            infection_times=res.finish_times,
+            rounds_run=res.rounds_run,
+            sizes=res.sizes,
         )
 
 
@@ -298,15 +269,20 @@ def infection_time_samples(
     max_rounds: int | None = None,
     batch_size: int = 256,
 ) -> np.ndarray:
-    """Sample ``infec(source)`` ``runs`` times via the batch engine."""
+    """Sample ``infec(source)`` ``runs`` times via the batch engine.
+
+    Batches are planned by :func:`repro.parallel.plan_batches_for`
+    under the BIPS rule's declared state footprint, capped at
+    ``batch_size`` runs each.
+    """
     gen = generator_from(rng)
     proc = BipsProcess(graph, source, branching, lazy=lazy)
     if runs <= 0:
         return np.empty(0, dtype=np.int64)
     out = []
-    left = int(runs)
-    while left > 0:
-        r = min(left, batch_size)
+    for r in plan_batches_for(
+        proc.rule_batch, int(runs), graph.n, max_batch=batch_size
+    ):
         res = proc.run_batch(r, gen, max_rounds=max_rounds)
         if not res.all_infected:
             raise RuntimeError(
@@ -314,5 +290,4 @@ def infection_time_samples(
                 f"{graph.name} hit the round cap"
             )
         out.append(res.infection_times)
-        left -= r
     return np.concatenate(out)

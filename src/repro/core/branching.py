@@ -47,6 +47,15 @@ class BranchingPolicy:
         """The maximum possible number of selections in one round."""
         raise NotImplementedError
 
+    def fixed_selection_count(self) -> int | None:
+        """``b`` if every vertex makes exactly ``b`` selections, else None.
+
+        The engine kernels in :mod:`repro.engine.rules` dispatch on
+        this instead of ``isinstance`` checks, so the engine package
+        stays import-free of :mod:`repro.core`.
+        """
+        raise NotImplementedError
+
 
 @dataclass(frozen=True)
 class FixedBranching(BranchingPolicy):
@@ -73,6 +82,10 @@ class FixedBranching(BranchingPolicy):
     def second_selection_probability(self) -> float:
         """P(a vertex makes a 2nd selection); 1.0 for b >= 2 (used by BIPS)."""
         return 1.0 if self.b >= 2 else 0.0
+
+    def fixed_selection_count(self) -> int | None:
+        """Always exactly ``b`` selections."""
+        return self.b
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"b={self.b}"
@@ -107,6 +120,10 @@ class BernoulliBranching(BranchingPolicy):
     def second_selection_probability(self) -> float:
         """P(a vertex makes a 2nd selection) = ρ."""
         return self.rho
+
+    def fixed_selection_count(self) -> int | None:
+        """The selection count is random, so None."""
+        return None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"b=1+{self.rho:g}"

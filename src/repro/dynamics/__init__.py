@@ -7,15 +7,21 @@ The subsystem splits into a topology layer and a process layer:
   :class:`SnapshotSchedule` (replay, eager or lazy), and the stochastic
   providers :class:`EdgeMarkovianSequence`, :class:`RewiringSequence`,
   :class:`ChurnSequence`;
-* :class:`DynamicCobraProcess` / :class:`DynamicBipsProcess` — runners
-  that drive the static vectorised kernels over the per-round
-  snapshots, with one seed stream for topology and one for the process.
+* :class:`DynamicCobraProcess` / :class:`DynamicBipsProcess` — thin
+  wrappers over the unified batched engine (:mod:`repro.engine`) that
+  drive the static kernels over the per-round snapshots, with one seed
+  stream for topology and one for the process.  Both offer single-run
+  ``run`` and shared-realisation ``run_batch`` execution, and
+  churn-aware completion criteria (``"all-active"``).
 """
 
 from .process import (
     DynamicBipsProcess,
     DynamicCobraProcess,
+    batch_seed_pair,
+    dynamic_cover_time_batch,
     dynamic_cover_time_samples,
+    dynamic_infection_time_batch,
     dynamic_infection_time_samples,
     run_seed_pairs,
 )
@@ -39,5 +45,8 @@ __all__ = [
     "DynamicBipsProcess",
     "dynamic_cover_time_samples",
     "dynamic_infection_time_samples",
+    "dynamic_cover_time_batch",
+    "dynamic_infection_time_batch",
     "run_seed_pairs",
+    "batch_seed_pair",
 ]

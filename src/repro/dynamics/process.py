@@ -1,13 +1,11 @@
 """Dynamic COBRA / BIPS runners over a :class:`GraphSequence`.
 
-The runners reuse the static vectorised kernels unchanged: each round
-``t`` fetches the snapshot ``G_t`` and calls the corresponding static
-``step`` (:meth:`repro.core.cobra.CobraProcess.step` /
-:meth:`repro.core.bips.BipsProcess.step`) against it, so per-round cost
-is identical to the static engines plus the sequence's advance cost.
-Per-snapshot process objects are memoised in a small LRU keyed on the
-snapshot object, so sequences that reuse snapshots (frozen, schedules,
-quiet rounds) skip process re-construction entirely.
+The runners are thin wrappers over the unified batched engine
+(:mod:`repro.engine`): a :class:`~repro.dynamics.sequence.GraphSequence`
+is a topology source, so the static and dynamic step loops are the
+same ``(R, n)`` boolean program — ``run`` is the ``R = 1`` case and
+``run_batch`` advances ``R`` runs sharing one topology realisation
+(the ROADMAP's "batched dynamic runner").
 
 Randomness contract: a runner consumes exactly one
 :class:`numpy.random.Generator` for *process* randomness, while the
@@ -21,27 +19,34 @@ Snapshots may be momentarily disconnected or contain degree-zero
 vertices (churned-out peers, edge-Markovian lulls).  COBRA particles
 on an isolated vertex hold their position for the round; an isolated
 vertex cannot be infected by BIPS (its selections are empty) and drops
-out of the infected set unless it is the persistent source.
+out of the infected set unless it is the persistent source.  Because
+"all ``n`` at once" is unreachable at moderate churn rates, every
+runner and sampler accepts a churn-aware ``completion`` criterion:
+``"all-vertices"`` (default), ``"all-active"`` (every currently-present
+vertex), or ``"target-hit"`` via the engine layer.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..core.bips import BipsProcess, default_infection_cap
-from ..core.branching import BranchingPolicy, FixedBranching, make_policy
-from ..core.cobra import CobraProcess, default_round_cap
+from ..core.branching import BranchingPolicy, make_policy
 from ..core.state import BipsResult, CobraResult
+from ..engine.engine import SpreadEngine
+from ..engine.rules import BipsRule, CobraRule, select_targets
 from ..graphs.graph import Graph
 from ..stats.rng import spawn_seeds
-from .sequence import GraphSequence, _LRUCache
+from .sequence import GraphSequence
 
 __all__ = [
     "DynamicCobraProcess",
     "DynamicBipsProcess",
     "dynamic_cover_time_samples",
     "dynamic_infection_time_samples",
+    "dynamic_cover_time_batch",
+    "dynamic_infection_time_batch",
     "run_seed_pairs",
+    "batch_seed_pair",
 ]
 
 
@@ -50,26 +55,6 @@ def _check_start(sequence: GraphSequence, vertex: int) -> int:
     if not 0 <= vertex < sequence.n:
         raise ValueError(f"vertex {vertex} out of range [0, {sequence.n})")
     return vertex
-
-
-class _SnapshotProcessCache:
-    """LRU of per-snapshot process objects, keyed on snapshot identity.
-
-    Keys are ``id(graph)``; every cached value holds a strong reference
-    to its graph (``proc.graph``), so a live key can never be recycled
-    for a different snapshot.
-    """
-
-    def __init__(self, build, capacity: int) -> None:
-        self._build = build
-        self._lru = _LRUCache(capacity)
-
-    def get(self, graph: Graph):
-        proc = self._lru.get(id(graph))
-        if proc is None or proc.graph is not graph:
-            proc = self._build(graph)
-            self._lru.put(id(graph), proc)
-        return proc
 
 
 class DynamicCobraProcess:
@@ -87,31 +72,36 @@ class DynamicCobraProcess:
         branching: BranchingPolicy | int | float = 2,
         *,
         lazy: bool = False,
-        cache_size: int = 8,
     ) -> None:
         self.sequence = sequence
         self.policy = make_policy(branching)
         self.lazy = lazy
-        self._procs = _SnapshotProcessCache(
-            lambda g: CobraProcess(g, self.policy, lazy=self.lazy, validate=False),
-            cache_size,
-        )
+        self.rule = CobraRule(self.policy, lazy=self.lazy)
 
     # ------------------------------------------------------------------
     def step_at(
         self, t: int, active: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
-        """Advance the active set one round on the round-``t`` snapshot."""
+        """Advance the active set one round on the round-``t`` snapshot.
+
+        ``active`` is an array of vertex ids; duplicate ids act as
+        separate particles (the :meth:`CobraProcess.step
+        <repro.core.cobra.CobraProcess.step>` contract).  The result is
+        the sorted unique next active set; isolated particles hold
+        their position.
+        """
         graph = self.sequence.graph_at(t)
-        proc = self._procs.get(graph)
         active = np.asarray(active, dtype=np.int64)
         stranded = graph.degrees[active] == 0
-        if not stranded.any():
-            return proc.step(active, rng)
         movers = active[~stranded]
         if movers.size == 0:
             return active.copy()
-        return np.union1d(proc.step(movers, rng), active[stranded])
+        counts = self.policy.draw_counts(movers.shape[0], rng)
+        actors = np.repeat(movers, counts)
+        targets = np.unique(select_targets(graph, actors, rng, self.lazy))
+        if not stranded.any():
+            return targets
+        return np.union1d(targets, active[stranded])
 
     # ------------------------------------------------------------------
     def run(
@@ -121,8 +111,15 @@ class DynamicCobraProcess:
         *,
         max_rounds: int | None = None,
         record: bool = False,
+        completion: str = "all-vertices",
+        target: int | None = None,
     ) -> CobraResult:
-        """Run until all ``n`` vertices have been visited (or the cap)."""
+        """Run until the completion criterion holds (or the cap).
+
+        The default criterion requires all ``n`` vertices visited;
+        ``completion="all-active"`` requires only the vertices present
+        in the current snapshot (churn-aware cover).
+        """
         n = self.sequence.n
         if np.ndim(start) == 0:
             active = np.array([_check_start(self.sequence, start)], dtype=np.int64)
@@ -130,38 +127,67 @@ class DynamicCobraProcess:
             active = np.unique(np.asarray(list(start), dtype=np.int64))
             if active.size == 0 or active[0] < 0 or active[-1] >= n:
                 raise ValueError(f"start set must be nonempty within [0, {n})")
-        cap = (
-            default_round_cap(self.sequence.graph_at(0))
-            if max_rounds is None
-            else int(max_rounds)
+        state = np.zeros((1, n), dtype=bool)
+        state[0, active] = True
+
+        engine = SpreadEngine(self.rule, self.sequence, completion, target=target)
+        res = engine.run(
+            state,
+            rng,
+            max_rounds=max_rounds,
+            track_hits=True,
+            record_sizes=record,
+            record_visited=record,
+        )
+        covered = bool(res.finish_times[0] >= 0)
+        return CobraResult(
+            covered=covered,
+            cover_time=int(res.finish_times[0]) if covered else -1,
+            rounds_run=res.rounds_run,
+            hit_times=res.hit_times[0].copy(),
+            active_sizes=(
+                res.sizes[0].copy() if record else np.empty(0, np.int64)
+            ),
+            visited_counts=(
+                res.visited_counts[0].copy() if record else np.empty(0, np.int64)
+            ),
         )
 
-        hit = np.full(n, -1, dtype=np.int64)
-        hit[active] = 0
-        uncovered = n - active.shape[0]
-        sizes = [active.shape[0]] if record else None
-        visited_counts = [n - uncovered] if record else None
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        starts: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        max_rounds: int | None = None,
+        track_hits: bool = False,
+        completion: str = "all-vertices",
+        target: int | None = None,
+    ):
+        """Advance ``R`` dynamic runs sharing one topology realisation.
 
-        t = 0
-        while uncovered > 0 and t < cap:
-            active = self.step_at(t, active, rng)
-            t += 1
-            fresh = active[hit[active] < 0]
-            hit[fresh] = t
-            uncovered -= fresh.shape[0]
-            if record:
-                sizes.append(active.shape[0])
-                visited_counts.append(n - uncovered)
+        All runs see the same snapshot sequence but use independent
+        process randomness inside one ``(R, n)`` boolean program — the
+        batched counterpart of :meth:`run`.  Returns a
+        :class:`~repro.core.state.CobraBatchResult`.
+        """
+        from ..core.state import CobraBatchResult
 
-        return CobraResult(
-            covered=(uncovered == 0),
-            cover_time=t if uncovered == 0 else -1,
-            rounds_run=t,
-            hit_times=hit,
-            active_sizes=np.asarray(sizes if record else [], dtype=np.int64),
-            visited_counts=np.asarray(
-                visited_counts if record else [], dtype=np.int64
-            ),
+        n = self.sequence.n
+        starts = np.asarray(starts, dtype=np.int64)
+        if starts.ndim != 1 or starts.size == 0:
+            raise ValueError("starts must be a 1-D nonempty array of vertices")
+        if starts.min() < 0 or starts.max() >= n:
+            raise ValueError(f"start vertex out of range [0, {n})")
+        state = np.zeros((starts.shape[0], n), dtype=bool)
+        state[np.arange(starts.shape[0]), starts] = True
+
+        engine = SpreadEngine(self.rule, self.sequence, completion, target=target)
+        res = engine.run(state, rng, max_rounds=max_rounds, track_hits=track_hits)
+        return CobraBatchResult(
+            cover_times=res.finish_times,
+            rounds_run=res.rounds_run,
+            hit_times=res.hit_times,
         )
 
 
@@ -169,8 +195,8 @@ class DynamicBipsProcess:
     """BIPS with a persistent source on a time-evolving graph.
 
     The round-``t`` infection step runs on ``sequence.graph_at(t)``.
-    Snapshots with isolated vertices take a masked fallback path with
-    the same selection semantics restricted to degree-positive vertices.
+    Snapshots with isolated vertices restrict the selection kernel to
+    degree-positive vertices with otherwise identical semantics.
     """
 
     def __init__(
@@ -180,50 +206,19 @@ class DynamicBipsProcess:
         branching: BranchingPolicy | int | float = 2,
         *,
         lazy: bool = False,
-        cache_size: int = 8,
     ) -> None:
         self.sequence = sequence
         self.source = _check_start(sequence, source)
         self.policy = make_policy(branching)
         self.lazy = lazy
-        self._procs = _SnapshotProcessCache(
-            lambda g: BipsProcess(
-                g, self.source, self.policy, lazy=self.lazy, validate=False
-            ),
-            cache_size,
+        self.rule_single = BipsRule(
+            self.policy, self.source, lazy=self.lazy, discipline="single"
+        )
+        self.rule_batch = BipsRule(
+            self.policy, self.source, lazy=self.lazy, discipline="batch"
         )
 
     # ------------------------------------------------------------------
-    def _select(
-        self, graph: Graph, actors: np.ndarray, rng: np.random.Generator
-    ) -> np.ndarray:
-        targets = graph.sample_neighbors(actors, rng)
-        if self.lazy:
-            stay = rng.random(actors.shape[0]) < 0.5
-            targets = np.where(stay, actors, targets)
-        return targets
-
-    def _step_with_isolated(
-        self, graph: Graph, infected: np.ndarray, rng: np.random.Generator
-    ) -> np.ndarray:
-        live = np.nonzero(graph.degrees > 0)[0]
-        nxt = np.zeros(graph.n, dtype=bool)
-        if live.size:
-            pick = self._select(graph, live, rng)
-            nxt[live] = infected[pick]
-            if isinstance(self.policy, FixedBranching) and self.policy.b >= 2:
-                for _ in range(self.policy.b - 1):
-                    pick = self._select(graph, live, rng)
-                    nxt[live] |= infected[pick]
-            else:
-                p2 = self.policy.second_selection_probability()
-                if p2 > 0.0:
-                    actors = live[rng.random(live.shape[0]) < p2]
-                    if actors.size:
-                        nxt[actors] |= infected[self._select(graph, actors, rng)]
-        nxt[self.source] = True
-        return nxt
-
     def step_at(
         self, t: int, infected: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
@@ -232,9 +227,9 @@ class DynamicBipsProcess:
         infected = np.asarray(infected, dtype=bool)
         if infected.shape != (graph.n,):
             raise ValueError(f"infected mask must have shape ({graph.n},)")
-        if graph.dmin >= 1:
-            return self._procs.get(graph).step(infected, rng)
-        return self._step_with_isolated(graph, infected, rng)
+        return self.rule_single.step(
+            graph, infected[None, :], np.ones(1, dtype=bool), rng
+        )[0]
 
     # ------------------------------------------------------------------
     def run(
@@ -243,45 +238,86 @@ class DynamicBipsProcess:
         *,
         max_rounds: int | None = None,
         record_degrees: bool = False,
+        completion: str = "all-vertices",
+        target: int | None = None,
     ) -> BipsResult:
-        """Run until all ``n`` vertices are infected at once (or the cap)."""
+        """Run until the completion criterion holds (or the cap).
+
+        ``completion="all-active"`` declares the run finished once
+        every *currently-present* (degree-positive) vertex is infected
+        — the reachable target under vertex churn.
+        """
         n = self.sequence.n
         infected = np.zeros(n, dtype=bool)
         infected[self.source] = True
-        cap = (
-            default_infection_cap(self.sequence.graph_at(0))
-            if max_rounds is None
-            else int(max_rounds)
+
+        degree_sizes = [] if record_degrees else None
+
+        def observe(t: int, graph: Graph, state: np.ndarray) -> None:
+            degree_sizes.append(int(graph.degrees[state[0]].sum()))
+
+        engine = SpreadEngine(
+            self.rule_single, self.sequence, completion, target=target
         )
-
-        sizes = [int(infected.sum())]
-        degree_sizes = (
-            [int(self.sequence.graph_at(0).degrees[infected].sum())]
-            if record_degrees
-            else None
+        res = engine.run(
+            infected[None, :],
+            rng,
+            max_rounds=max_rounds,
+            record_sizes=True,
+            on_round=observe if record_degrees else None,
         )
+        final = res.final_state[0]
+        if record_degrees:
+            final_graph = self.sequence.graph_at(res.rounds_run)
+            degree_sizes.append(int(final_graph.degrees[final].sum()))
 
-        t = 0
-        while not infected.all() and t < cap:
-            infected = self.step_at(t, infected, rng)
-            t += 1
-            sizes.append(int(infected.sum()))
-            if record_degrees:
-                degree_sizes.append(
-                    int(self.sequence.graph_at(t).degrees[infected].sum())
-                )
-
-        done = bool(infected.all())
+        done = bool(res.finish_times[0] >= 0)
         return BipsResult(
             infected_all=done,
-            infection_time=t if done else -1,
-            rounds_run=t,
-            sizes=np.asarray(sizes, dtype=np.int64),
+            infection_time=int(res.finish_times[0]) if done else -1,
+            rounds_run=res.rounds_run,
+            sizes=res.sizes[0].copy(),
             degree_sizes=np.asarray(
                 degree_sizes if record_degrees else [], dtype=np.int64
             ),
             candidate_sizes=np.asarray([], dtype=np.int64),
-            final_infected=infected,
+            final_infected=final.copy(),
+        )
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        runs: int,
+        rng: np.random.Generator,
+        *,
+        max_rounds: int | None = None,
+        record_sizes: bool = False,
+        completion: str = "all-vertices",
+        target: int | None = None,
+    ):
+        """Advance ``runs`` dynamic BIPS runs sharing one realisation.
+
+        Returns a :class:`~repro.core.state.BipsBatchResult`; a
+        finished run is frozen at its completion state.
+        """
+        from ..core.state import BipsBatchResult
+
+        if runs < 1:
+            raise ValueError("need at least one run")
+        n = self.sequence.n
+        infected = np.zeros((int(runs), n), dtype=bool)
+        infected[:, self.source] = True
+
+        engine = SpreadEngine(
+            self.rule_batch, self.sequence, completion, target=target
+        )
+        res = engine.run(
+            infected, rng, max_rounds=max_rounds, record_sizes=record_sizes
+        )
+        return BipsBatchResult(
+            infection_times=res.finish_times,
+            rounds_run=res.rounds_run,
+            sizes=res.sizes,
         )
 
 
@@ -293,12 +329,31 @@ def run_seed_pairs(
 ) -> list[tuple[np.random.SeedSequence, np.random.SeedSequence]]:
     """Spawn ``(topology, process)`` seed pairs, one per run.
 
-    This is the published spawning discipline of the samplers below:
-    one child per run, each split into a topology stream (fed to the
-    sequence factory) and a process stream (fed to the runner) — so
+    This is the published spawning discipline of the per-run samplers
+    below: one child per run, each split into a topology stream (fed to
+    the sequence factory) and a process stream (fed to the runner) — so
     audits can regenerate either stream independently.
     """
     return [tuple(child.spawn(2)) for child in spawn_seeds(seed, runs)]
+
+
+def batch_seed_pair(
+    seed: int | np.random.SeedSequence,
+) -> tuple[np.random.SeedSequence, np.random.SeedSequence]:
+    """Split a master seed into one ``(topology, process)`` pair.
+
+    The batched samplers use a single pair for the whole batch: one
+    topology realisation shared by all runs, one process stream driving
+    the ``(R, n)`` program.  Published so experiment code (e.g. E16's
+    static-anchor checks) can regenerate either stream independently.
+    """
+    ss = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    topo, proc = ss.spawn(2)
+    return topo, proc
 
 
 def _resolve_sequence(sequence, topology_seed) -> GraphSequence:
@@ -321,20 +376,26 @@ def dynamic_cover_time_samples(
     lazy: bool = False,
     seed: int | np.random.SeedSequence = 0,
     max_rounds: int | None = None,
+    completion: str = "all-vertices",
 ) -> np.ndarray:
-    """Sample dynamic COBRA cover times ``runs`` times.
+    """Sample dynamic COBRA cover times, one run at a time.
 
     ``sequence`` is either a shared :class:`GraphSequence` (every run
     replays the same topology realisation) or a factory
     ``topology_seed -> GraphSequence`` (every run draws an independent
-    realisation).  Raises if any run hits the round cap.
+    realisation).  Raises if any run hits the round cap.  For the
+    hardware-speed shared-realisation variant see
+    :func:`dynamic_cover_time_batch`.
     """
     times = np.empty(int(runs), dtype=np.int64)
     for i, (topo_seed, proc_seed) in enumerate(run_seed_pairs(seed, int(runs))):
         seq = _resolve_sequence(sequence, topo_seed)
         proc = DynamicCobraProcess(seq, branching, lazy=lazy)
         result = proc.run(
-            start, np.random.default_rng(proc_seed), max_rounds=max_rounds
+            start,
+            np.random.default_rng(proc_seed),
+            max_rounds=max_rounds,
+            completion=completion,
         )
         if not result.covered:
             raise RuntimeError(
@@ -354,13 +415,18 @@ def dynamic_infection_time_samples(
     lazy: bool = False,
     seed: int | np.random.SeedSequence = 0,
     max_rounds: int | None = None,
+    completion: str = "all-vertices",
 ) -> np.ndarray:
-    """Sample dynamic BIPS infection times ``runs`` times (see above)."""
+    """Sample dynamic BIPS infection times, one run at a time (see above)."""
     times = np.empty(int(runs), dtype=np.int64)
     for i, (topo_seed, proc_seed) in enumerate(run_seed_pairs(seed, int(runs))):
         seq = _resolve_sequence(sequence, topo_seed)
         proc = DynamicBipsProcess(seq, source, branching, lazy=lazy)
-        result = proc.run(np.random.default_rng(proc_seed), max_rounds=max_rounds)
+        result = proc.run(
+            np.random.default_rng(proc_seed),
+            max_rounds=max_rounds,
+            completion=completion,
+        )
         if not result.infected_all:
             raise RuntimeError(
                 f"dynamic BIPS run {i} on {seq.name} hit the round cap "
@@ -368,3 +434,72 @@ def dynamic_infection_time_samples(
             )
         times[i] = result.infection_time
     return times
+
+
+def dynamic_cover_time_batch(
+    sequence,
+    runs: int = 32,
+    *,
+    start: int = 0,
+    branching: BranchingPolicy | int | float = 2,
+    lazy: bool = False,
+    seed: int | np.random.SeedSequence = 0,
+    max_rounds: int | None = None,
+    completion: str = "all-vertices",
+) -> np.ndarray:
+    """Sample dynamic COBRA cover times with the batched runner.
+
+    All ``runs`` share one topology realisation (drawn from the
+    topology half of :func:`batch_seed_pair`) and advance together in
+    one ``(R, n)`` boolean program — the hardware-speed estimator for
+    quenched (per-realisation) statistics.  Raises if any run hits the
+    round cap.
+    """
+    topo_seed, proc_seed = batch_seed_pair(seed)
+    seq = _resolve_sequence(sequence, topo_seed)
+    proc = DynamicCobraProcess(seq, branching, lazy=lazy)
+    res = proc.run_batch(
+        np.full(int(runs), _check_start(seq, start), dtype=np.int64),
+        np.random.default_rng(proc_seed),
+        max_rounds=max_rounds,
+        completion=completion,
+    )
+    if not res.all_covered:
+        raise RuntimeError(
+            f"{(res.cover_times < 0).sum()} of {int(runs)} batched dynamic "
+            f"COBRA runs on {seq.name} hit the round cap"
+        )
+    return res.cover_times.copy()
+
+
+def dynamic_infection_time_batch(
+    sequence,
+    runs: int = 32,
+    *,
+    source: int = 0,
+    branching: BranchingPolicy | int | float = 2,
+    lazy: bool = False,
+    seed: int | np.random.SeedSequence = 0,
+    max_rounds: int | None = None,
+    completion: str = "all-vertices",
+) -> np.ndarray:
+    """Sample dynamic BIPS infection times with the batched runner.
+
+    The BIPS counterpart of :func:`dynamic_cover_time_batch`: one
+    shared topology realisation, one ``(R, n)`` program.
+    """
+    topo_seed, proc_seed = batch_seed_pair(seed)
+    seq = _resolve_sequence(sequence, topo_seed)
+    proc = DynamicBipsProcess(seq, source, branching, lazy=lazy)
+    res = proc.run_batch(
+        int(runs),
+        np.random.default_rng(proc_seed),
+        max_rounds=max_rounds,
+        completion=completion,
+    )
+    if not res.all_infected:
+        raise RuntimeError(
+            f"{(res.infection_times < 0).sum()} of {int(runs)} batched dynamic "
+            f"BIPS runs on {seq.name} hit the round cap"
+        )
+    return res.infection_times.copy()

@@ -1,0 +1,273 @@
+"""The unified batched round engine: one ``(R, n)`` state machine.
+
+:class:`SpreadEngine` advances ``R`` independent runs of any
+:class:`~repro.engine.rules.SpreadRule` over any topology source — a
+static :class:`~repro.graphs.Graph` or a time-evolving
+:class:`~repro.dynamics.GraphSequence` — until a
+:class:`~repro.engine.completion.CompletionCriterion` is met or a
+round cap is hit.  Every process in the repo (COBRA, BIPS, push, pull,
+push–pull, flooding, k walks, and their dynamic variants) is a thin
+wrapper over this one loop::
+
+    engine = SpreadEngine(CobraRule(policy), graph)          # static
+    engine = SpreadEngine(BipsRule(policy, 0), sequence,      # dynamic
+                          completion="all-active")
+    result = engine.run(state0, rng, track_hits=True)
+
+The engine owns everything the wrappers used to duplicate: the round
+loop, the cumulative visited set, per-vertex hit times, per-round size
+and coverage recording, completion testing, and cap derivation (rules
+declare their cap through :mod:`repro.engine.caps`).  Randomness flows
+through the rule kernels in the historical order, so wrappers retain
+their seed-for-seed behaviour (see :mod:`repro.engine.rules`).
+
+Topology duck-typing: any object with ``.n`` and ``.graph_at(t)`` is a
+topology source; plain graphs are wrapped in :class:`StaticTopology`
+(equivalent to, but dependency-free of,
+:class:`repro.dynamics.FrozenSequence`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from .completion import AllVertices, CompletionCriterion, make_completion
+from .rules import SpreadRule
+
+__all__ = ["SpreadEngine", "SpreadResult", "StaticTopology", "as_topology"]
+
+
+class StaticTopology:
+    """Adapter presenting a static :class:`Graph` as a snapshot source.
+
+    Behaviourally identical to
+    :class:`repro.dynamics.FrozenSequence`, but defined here so the
+    engine package has no dependency on :mod:`repro.dynamics`.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self.base = graph
+        self.n = graph.n
+        self.name = graph.name
+
+    def graph_at(self, t: int) -> Graph:
+        """Every round sees the same static graph."""
+        return self.base
+
+
+def as_topology(source):
+    """Coerce a topology source: graphs are wrapped, sequences pass through.
+
+    Any object exposing ``.n`` and ``.graph_at(t)`` (in particular every
+    :class:`repro.dynamics.GraphSequence`) is accepted as-is.
+    """
+    if isinstance(source, Graph):
+        return StaticTopology(source)
+    if hasattr(source, "graph_at") and hasattr(source, "n"):
+        return source
+    raise TypeError(
+        f"expected a Graph or a graph-sequence-like object, got {source!r}"
+    )
+
+
+@dataclass(frozen=True)
+class SpreadResult:
+    """Outcome of ``R`` engine runs advanced together.
+
+    Attributes
+    ----------
+    finish_times:
+        ``(R,)`` first round at which each run met the completion
+        criterion; ``-1`` for runs that hit the round cap.
+    rounds_run:
+        Number of rounds actually simulated (the max over runs).
+    final_state:
+        The rule-specific state array after the last simulated round.
+    hit_times:
+        ``(R, n)`` per-vertex first-visit round (``-1`` = never), when
+        requested via ``track_hits``.
+    sizes:
+        ``(R, rounds_run + 1)`` per-round occupancy counts, when
+        requested via ``record_sizes``.
+    visited_counts:
+        ``(R, rounds_run + 1)`` per-round cumulative distinct-visited
+        counts, when requested via ``record_visited``.
+    """
+
+    finish_times: np.ndarray
+    rounds_run: int
+    final_state: np.ndarray
+    hit_times: np.ndarray | None = None
+    sizes: np.ndarray | None = None
+    visited_counts: np.ndarray | None = None
+
+    @property
+    def all_finished(self) -> bool:
+        """True iff every run completed within the round cap."""
+        return bool(np.all(self.finish_times >= 0))
+
+    def finished_fraction(self) -> float:
+        """Fraction of runs that completed within the round cap."""
+        return float(np.mean(self.finish_times >= 0))
+
+
+class SpreadEngine:
+    """A spread rule bound to a topology source and completion criterion.
+
+    Parameters
+    ----------
+    rule:
+        The per-round kernel (see :mod:`repro.engine.rules`).
+    topology:
+        A static :class:`~repro.graphs.Graph` or any object with
+        ``.n`` / ``.graph_at(t)`` (e.g. a
+        :class:`repro.dynamics.GraphSequence`).
+    completion:
+        ``"all-vertices"`` (default), ``"all-active"``,
+        ``"target-hit"`` (with ``target=``), or a
+        :class:`~repro.engine.completion.CompletionCriterion`.
+    """
+
+    def __init__(
+        self,
+        rule: SpreadRule,
+        topology,
+        completion: "CompletionCriterion | str" = "all-vertices",
+        *,
+        target: int | None = None,
+    ) -> None:
+        self.rule = rule
+        self.topology = as_topology(topology)
+        self.completion = make_completion(completion, target=target)
+        validate = getattr(rule, "validate_topology", None)
+        if validate is not None:
+            validate(self.topology)
+
+    # ------------------------------------------------------------------
+    def default_cap(self) -> int:
+        """The rule's round cap derived from the round-0 snapshot."""
+        return self.rule.default_cap(self.topology.graph_at(0))
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        state: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        max_rounds: int | None = None,
+        track_hits: bool = False,
+        record_sizes: bool = False,
+        record_visited: bool = False,
+        on_round: Callable[[int, Graph, np.ndarray], None] | None = None,
+    ) -> SpreadResult:
+        """Advance all runs until completion or the round cap.
+
+        ``state`` is the rule-specific initial state (round-0); it is
+        not mutated.  ``on_round(t, graph, state)`` is called before
+        each executed round with the snapshot in force and the
+        (read-only) state entering the round — the hook BIPS candidate
+        and degree recording is built on.  Transition ``t → t+1`` uses
+        ``topology.graph_at(t)``, so round counting matches both the
+        historical static and dynamic loops.
+        """
+        rule, topo = self.rule, self.topology
+        n = topo.n
+        # Rules with non-row-per-run state (bit-packed flooding) publish
+        # their run count through runs_of; the default is one state row
+        # per run.
+        runs_of = getattr(rule, "runs_of", None)
+        runs = runs_of(state) if runs_of is not None else state.shape[0]
+        cap = self.default_cap() if max_rounds is None else int(max_rounds)
+
+        occ = rule.occupancy(state, n)
+        monotone = rule.completion_basis == "visited"
+        visited = remaining = None
+        if monotone or track_hits or record_visited:
+            visited = occ.copy()
+            remaining = n - visited.sum(axis=1)
+        hits = None
+        if track_hits:
+            hits = np.full((runs, n), -1, dtype=np.int64)
+            hits[occ] = 0
+
+        times = np.full(runs, -1, dtype=np.int64)
+        graph = topo.graph_at(0)
+        basis = visited if monotone else occ
+        times[self.completion.done(basis, graph, remaining if monotone else None)] = 0
+
+        sizes = [occ.sum(axis=1)] if record_sizes else None
+        visited_counts = [n - remaining] if record_visited else None
+
+        # Rules touching only a few vertices per round (walks) publish
+        # sparse (run, vertex) coordinates; updating visited from those
+        # avoids the O(R·n) dense scan per round.
+        touched = getattr(rule, "touched", None)
+        use_sparse = (
+            touched is not None
+            and visited is not None
+            and monotone
+            and not record_sizes
+        )
+        # Bit-packed rules (flooding) answer all-vertices completion on
+        # their packed planes, skipping the dense unpack per round.
+        finished = getattr(rule, "finished", None)
+        use_packed_done = (
+            finished is not None
+            and isinstance(self.completion, AllVertices)
+            and visited is None
+            and not record_sizes
+        )
+
+        t = 0
+        while np.any(times < 0) and t < cap:
+            graph = topo.graph_at(t)
+            if on_round is not None:
+                on_round(t, graph, state)
+            alive = times < 0
+            state = rule.step(graph, state, alive, rng)
+            t += 1
+            if use_packed_done:
+                times[alive & finished(state)] = t
+                continue
+            if use_sparse:
+                rows, verts = touched(state, n)
+                keep = alive[rows] & ~visited[rows, verts]
+                rows, verts = rows[keep], verts[keep]
+                visited[rows, verts] = True
+                if hits is not None:
+                    hits[rows, verts] = t
+                remaining -= np.bincount(rows, minlength=runs)
+                basis = visited
+            else:
+                occ = rule.occupancy(state, n)
+                if visited is not None:
+                    fresh = occ & ~visited
+                    fresh &= alive[:, None]
+                    visited |= fresh
+                    if hits is not None:
+                        hits[fresh] = t
+                    remaining -= fresh.sum(axis=1)
+                basis = visited if monotone else occ
+            done_now = alive & self.completion.done(
+                basis, graph, remaining if monotone else None
+            )
+            times[done_now] = t
+            if record_sizes:
+                sizes.append(occ.sum(axis=1))
+            if record_visited:
+                visited_counts.append(n - remaining)
+
+        return SpreadResult(
+            finish_times=times,
+            rounds_run=t,
+            final_state=state,
+            hit_times=hits,
+            sizes=np.column_stack(sizes) if record_sizes else None,
+            visited_counts=(
+                np.column_stack(visited_counts) if record_visited else None
+            ),
+        )

@@ -1,0 +1,612 @@
+"""Spread rules: the per-round gather/scatter kernels of the engine.
+
+A :class:`SpreadRule` advances ``R`` independent runs one round inside
+a single flattened index program over the CSR arrays (reusing
+:meth:`repro.graphs.Graph.sample_neighbors` for every random neighbour
+draw).  The engine layer owns the loop, the visited set, hit times and
+completion; a rule owns only its state array and one ``step``.
+
+Seed-for-seed contract
+----------------------
+The kernels here are the pre-refactor engines' inner loops moved
+verbatim, so the thin wrappers in :mod:`repro.core`,
+:mod:`repro.baselines` and :mod:`repro.dynamics` reproduce the seed
+engines' samples bit-for-bit under identical generators (the
+regression tests in ``tests/engine/test_seed_equivalence.py`` pin
+this).  In particular:
+
+* ``CobraRule`` consumes randomness only for *alive* runs (finished
+  rows are dropped from the work list before any draw), matching the
+  original ``CobraProcess.run_batch``;
+* ``BipsRule`` in its ``"batch"`` discipline draws for *every* row and
+  freezes finished rows afterwards, matching the original
+  ``BipsProcess.run_batch``; its ``"single"`` discipline reproduces the
+  original single-run ``step`` (whose Bernoulli second-selection draws
+  come in a different order than the batch kernel's);
+* degree-zero vertices (churned-out peers in dynamic snapshots) are
+  handled exactly as :mod:`repro.dynamics` did: COBRA particles and
+  walkers hold their position, BIPS restricts selections to present
+  vertices.
+
+Rules are deliberately policy-agnostic about branching: they duck-type
+:class:`repro.core.branching.BranchingPolicy` through its
+``draw_counts`` / ``fixed_selection_count`` /
+``second_selection_probability`` methods, keeping this package free of
+imports from :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..graphs.graph import Graph, _ragged_arange
+from .caps import flooding_round_cap, process_round_cap, walk_round_cap
+
+__all__ = [
+    "SpreadRule",
+    "CobraRule",
+    "BipsRule",
+    "PushRule",
+    "PullRule",
+    "PushPullRule",
+    "FloodingRule",
+    "WalkRule",
+]
+
+
+def select_targets(
+    graph: Graph, actors: np.ndarray, rng: np.random.Generator, lazy: bool
+) -> np.ndarray:
+    """One uniform neighbour per actor; lazy selections keep the actor.
+
+    The draw order (neighbour uniforms first, then the lazy coin) is
+    part of the seed-for-seed contract — every engine in the repo has
+    always consumed randomness in this order.
+    """
+    targets = graph.sample_neighbors(actors, rng)
+    if lazy:
+        stay = rng.random(actors.shape[0]) < 0.5
+        targets = np.where(stay, actors, targets)
+    return targets
+
+
+class SpreadRule(abc.ABC):
+    """One round of a spread process as a vectorised ``(R, n)`` kernel.
+
+    Class attributes
+    ----------------
+    completion_basis:
+        ``"visited"`` if completion is judged on the cumulative visited
+        set (cover-type processes: COBRA, walks), ``"state"`` if on the
+        instantaneous state (infection/broadcast-type: BIPS, push,
+        pull, flooding — for the monotone broadcasts the two coincide).
+    state_arrays:
+        How many ``(R, n)``-byte boolean-array equivalents the engine
+        keeps live per run while stepping this rule; used by
+        :func:`repro.parallel.plan_batches_for` to split trial budgets
+        under a memory cap.
+    """
+
+    completion_basis: str = "visited"
+    state_arrays: int = 4
+
+    @abc.abstractmethod
+    def step(
+        self,
+        graph: Graph,
+        state: np.ndarray,
+        alive: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Advance every run one round on ``graph``; return the new state.
+
+        ``state`` is the rule-specific per-run state (a boolean
+        ``(R, n)`` mask for set processes, an int ``(R, k)`` position
+        array for walks); ``alive`` flags runs that have not yet
+        completed.  Implementations must not mutate ``state``.
+        """
+
+    @abc.abstractmethod
+    def occupancy(self, state: np.ndarray, n: int) -> np.ndarray:
+        """Return the ``(R, n)`` boolean mask of vertices occupied now."""
+
+    @abc.abstractmethod
+    def default_cap(self, graph: Graph) -> int:
+        """Return this rule's generous round cap for ``graph``."""
+
+
+class CobraRule(SpreadRule):
+    """COBRA branching-choose-``b``: each active vertex picks ``b``
+    random neighbours; the chosen vertices form the next active set
+    (coalescing is implicit in the boolean scatter).
+
+    Degree-zero active vertices (possible only on dynamic snapshots)
+    hold their position for the round, per the
+    :mod:`repro.dynamics` convention.
+    """
+
+    completion_basis = "visited"
+    state_arrays = 4
+
+    def __init__(self, policy, lazy: bool = False) -> None:
+        self.policy = policy
+        self.lazy = bool(lazy)
+
+    def step(
+        self,
+        graph: Graph,
+        state: np.ndarray,
+        alive: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """One branching round; finished runs are dropped from the work."""
+        work = state & alive[:, None]
+        if graph.dmin == 0:
+            can_move = graph.degrees > 0
+            movers = work & can_move[None, :]
+            stranded = work & ~can_move[None, :]
+        else:
+            movers, stranded = work, None
+        rows, verts = np.nonzero(movers)
+        counts = self.policy.draw_counts(verts.shape[0], rng)
+        rows_rep = np.repeat(rows, counts)
+        actors = np.repeat(verts, counts)
+        targets = select_targets(graph, actors, rng, self.lazy)
+        nxt = np.zeros_like(state)
+        nxt[rows_rep, targets] = True
+        if stranded is not None:
+            nxt |= stranded
+        return nxt
+
+    def occupancy(self, state: np.ndarray, n: int) -> np.ndarray:
+        """The active mask *is* the occupancy."""
+        return state
+
+    def default_cap(self, graph: Graph) -> int:
+        """Theorem 1.1-shaped cap (see :func:`process_round_cap`)."""
+        return process_round_cap(graph.n, graph.m, graph.dmax)
+
+
+class BipsRule(SpreadRule):
+    """BIPS pull: every vertex samples ``b`` neighbours and joins the
+    next infected set iff some sample is currently infected; the
+    persistent source is forced back in (SIS dynamics).
+
+    ``discipline`` selects the randomness layout: ``"batch"`` tiles all
+    runs into one draw per selection round (the historical
+    ``step_batch`` stream, drawn for finished runs too and frozen
+    afterwards); ``"single"`` reproduces the historical single-run
+    ``step`` stream, whose Bernoulli second selections draw the
+    participation mask *before* the neighbour picks and only for the
+    participating vertices.  ``"single"`` requires ``R == 1``.
+    """
+
+    completion_basis = "state"
+    state_arrays = 12  # state + next + the (R, n) int64 pick buffer
+
+    def __init__(
+        self, policy, source: int, lazy: bool = False, discipline: str = "batch"
+    ) -> None:
+        if discipline not in ("batch", "single"):
+            raise ValueError(f"unknown BIPS discipline {discipline!r}")
+        self.policy = policy
+        self.source = int(source)
+        self.lazy = bool(lazy)
+        self.discipline = discipline
+
+    # -- kernels --------------------------------------------------------
+    def _select(
+        self, graph: Graph, actors: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return select_targets(graph, actors, rng, self.lazy)
+
+    def _next_single(
+        self, graph: Graph, infected: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Historical single-run round on a length-``n`` mask."""
+        n = graph.n
+        fixed_b = self.policy.fixed_selection_count()
+        if graph.dmin >= 1:
+            all_vertices = np.arange(n, dtype=np.int64)
+            pick = self._select(graph, all_vertices, rng)
+            nxt = infected[pick]
+            if fixed_b is not None and fixed_b >= 2:
+                for _ in range(fixed_b - 1):
+                    pick = self._select(graph, all_vertices, rng)
+                    nxt |= infected[pick]
+            elif fixed_b is None:
+                p2 = self.policy.second_selection_probability()
+                if p2 > 0.0:
+                    second = rng.random(n) < p2
+                    actors = all_vertices[second]
+                    pick2 = self._select(graph, actors, rng)
+                    nxt[actors] |= infected[pick2]
+        else:
+            live = np.nonzero(graph.degrees > 0)[0]
+            nxt = np.zeros(n, dtype=bool)
+            if live.size:
+                pick = self._select(graph, live, rng)
+                nxt[live] = infected[pick]
+                if fixed_b is not None and fixed_b >= 2:
+                    for _ in range(fixed_b - 1):
+                        pick = self._select(graph, live, rng)
+                        nxt[live] |= infected[pick]
+                elif fixed_b is None:
+                    p2 = self.policy.second_selection_probability()
+                    if p2 > 0.0:
+                        actors = live[rng.random(live.shape[0]) < p2]
+                        if actors.size:
+                            picks = self._select(graph, actors, rng)
+                            nxt[actors] |= infected[picks]
+        nxt[self.source] = True
+        return nxt
+
+    def _next_batch(
+        self, graph: Graph, infected: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Historical batch round on an ``(R, n)`` mask (all rows drawn)."""
+        runs, n = infected.shape
+        fixed_b = self.policy.fixed_selection_count()
+        if graph.dmin >= 1:
+            verts_tile = np.tile(np.arange(n, dtype=np.int64), runs)
+            pick = self._select(graph, verts_tile, rng).reshape(runs, n)
+            nxt = np.take_along_axis(infected, pick, axis=1)
+            if fixed_b is not None:
+                for _ in range(fixed_b - 1):
+                    pick = self._select(graph, verts_tile, rng).reshape(runs, n)
+                    nxt |= np.take_along_axis(infected, pick, axis=1)
+            else:
+                p2 = self.policy.second_selection_probability()
+                if p2 > 0.0:
+                    pick = self._select(graph, verts_tile, rng).reshape(runs, n)
+                    second = rng.random((runs, n)) < p2
+                    nxt |= np.take_along_axis(infected, pick, axis=1) & second
+        else:
+            live = np.nonzero(graph.degrees > 0)[0]
+            nxt = np.zeros_like(infected)
+            if live.size:
+                k = live.shape[0]
+                live_tile = np.tile(live, runs)
+                pick = self._select(graph, live_tile, rng).reshape(runs, k)
+                nxt[:, live] = np.take_along_axis(infected, pick, axis=1)
+                if fixed_b is not None:
+                    for _ in range(fixed_b - 1):
+                        pick = self._select(graph, live_tile, rng).reshape(runs, k)
+                        nxt[:, live] |= np.take_along_axis(infected, pick, axis=1)
+                else:
+                    p2 = self.policy.second_selection_probability()
+                    if p2 > 0.0:
+                        pick = self._select(graph, live_tile, rng).reshape(runs, k)
+                        second = rng.random((runs, k)) < p2
+                        sel = np.take_along_axis(infected, pick, axis=1) & second
+                        nxt[:, live] |= sel
+        nxt[:, self.source] = True
+        return nxt
+
+    # -- SpreadRule API -------------------------------------------------
+    def step(
+        self,
+        graph: Graph,
+        state: np.ndarray,
+        alive: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """One infection round; finished runs are frozen afterwards."""
+        if self.discipline == "single":
+            if state.shape[0] != 1:
+                raise ValueError("BIPS 'single' discipline requires R == 1")
+            nxt = self._next_single(graph, state[0], rng)[None, :]
+        else:
+            nxt = self._next_batch(graph, state, rng)
+        return np.where(alive[:, None], nxt, state)
+
+    def occupancy(self, state: np.ndarray, n: int) -> np.ndarray:
+        """The infected mask *is* the occupancy."""
+        return state
+
+    def default_cap(self, graph: Graph) -> int:
+        """Theorem 1.4-shaped cap (see :func:`process_round_cap`)."""
+        return process_round_cap(graph.n, graph.m, graph.dmax)
+
+
+class _BroadcastRule(SpreadRule):
+    """Shared shape for the monotone gossip baselines (push/pull/both).
+
+    State is the informed ``(R, n)`` mask; informed vertices never
+    forget, so state and visited coincide and completion is judged on
+    the state.  Degree-zero vertices neither send nor ask.
+    """
+
+    completion_basis = "state"
+    state_arrays = 3
+
+    def occupancy(self, state: np.ndarray, n: int) -> np.ndarray:
+        """The informed mask *is* the occupancy."""
+        return state
+
+    def default_cap(self, graph: Graph) -> int:
+        """Shared epidemic cap (see :func:`process_round_cap`)."""
+        return process_round_cap(graph.n, graph.m, graph.dmax)
+
+    @staticmethod
+    def _acting(
+        mask: np.ndarray, alive: np.ndarray, graph: Graph
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Row/vertex indices of degree-positive actors among ``mask``."""
+        work = mask & alive[:, None]
+        if graph.dmin == 0:
+            work &= (graph.degrees > 0)[None, :]
+        return np.nonzero(work)
+
+
+class PushRule(_BroadcastRule):
+    """Push gossip: every informed vertex pushes to ``fanout`` uniform
+    random neighbours per round."""
+
+    def __init__(self, fanout: int = 1) -> None:
+        if fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        self.fanout = int(fanout)
+
+    def step(
+        self,
+        graph: Graph,
+        state: np.ndarray,
+        alive: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Informed vertices scatter the rumour to sampled neighbours."""
+        rows, verts = self._acting(state, alive, graph)
+        rows_rep = np.repeat(rows, self.fanout)
+        senders = np.repeat(verts, self.fanout)
+        targets = graph.sample_neighbors(senders, rng)
+        nxt = state.copy()
+        nxt[rows_rep, targets] = True
+        return nxt
+
+
+class PullRule(_BroadcastRule):
+    """Pull gossip: every uninformed vertex asks one uniform random
+    neighbour and learns the rumour if the neighbour knows it."""
+
+    def step(
+        self,
+        graph: Graph,
+        state: np.ndarray,
+        alive: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Uninformed vertices gather from sampled neighbours."""
+        rows, askers = self._acting(~state, alive, graph)
+        answers = graph.sample_neighbors(askers, rng)
+        learned = state[rows, answers]
+        nxt = state.copy()
+        nxt[rows[learned], askers[learned]] = True
+        return nxt
+
+
+class PushPullRule(_BroadcastRule):
+    """Push–pull gossip: informed vertices push and uninformed vertices
+    pull in the same round, both acting on the start-of-round state."""
+
+    state_arrays = 4
+
+    def step(
+        self,
+        graph: Graph,
+        state: np.ndarray,
+        alive: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Simultaneous push and pull halves (push draws first)."""
+        rows_s, senders = self._acting(state, alive, graph)
+        rows_a, askers = self._acting(~state, alive, graph)
+        pushed = graph.sample_neighbors(senders, rng)
+        answers = graph.sample_neighbors(askers, rng)
+        nxt = state.copy()
+        nxt[rows_s, pushed] = True
+        learned = state[rows_a, answers]
+        nxt[rows_a[learned], askers[learned]] = True
+        return nxt
+
+
+class FloodingRule(SpreadRule):
+    """Deterministic flooding: every informed vertex transmits to *all*
+    neighbours each round, so the informed set after ``t`` rounds is the
+    BFS ball of radius ``t``.  Consumes no randomness.
+
+    This is the engine's one bit-parallel rule: the ``R`` runs are
+    packed into uint8 bitplanes, so state is ``(2·ceil(R/8), n)`` —
+    the first half holds the informed bits, the second half the
+    frontier bits (vertices first informed last round).  One round is a
+    single CSR gather plus a ``bitwise_or.reduceat``, advancing all
+    runs 8-per-byte: a full broadcast costs O(m · R/8) byte-ops, the
+    bit-parallel analogue of one BFS.  Use :meth:`pack` to build the
+    initial state from a boolean mask.
+
+    On a static topology only the frontier transmits (interior vertices
+    already reached all their neighbours).  On a *time-evolving*
+    topology an interior vertex can gain new neighbours, so pass
+    ``reflood=True`` to re-transmit from the whole informed set every
+    round (the literal protocol, correct on dynamic snapshots).
+    """
+
+    completion_basis = "state"
+    state_arrays = 1  # packed bits: n/4 bytes per run in state
+
+    def __init__(self, runs: int = 1, reflood: bool = False) -> None:
+        if runs < 1:
+            raise ValueError("need at least one run")
+        self.runs = int(runs)
+        self.reflood = bool(reflood)
+
+    # -- packing --------------------------------------------------------
+    def pack(self, mask: np.ndarray) -> np.ndarray:
+        """Pack an ``(R, n)`` boolean informed mask into rule state."""
+        if mask.shape[0] != self.runs:
+            raise ValueError(f"mask must have {self.runs} rows")
+        informed = np.packbits(mask, axis=0, bitorder="little")
+        return np.concatenate([informed, informed.copy()], axis=0)
+
+    def runs_of(self, state: np.ndarray) -> int:
+        """The run count is fixed at construction (bits hide ``R``)."""
+        return self.runs
+
+    def validate_topology(self, topology) -> None:
+        """Refuse frontier-only flooding on a non-static topology.
+
+        The frontier optimisation assumes interior vertices never gain
+        new neighbours; on a time-evolving topology that silently
+        inflates broadcast times, so the engine demands
+        ``reflood=True`` there (checked at engine construction).
+        """
+        from .engine import StaticTopology
+
+        if not self.reflood and not isinstance(topology, StaticTopology):
+            raise ValueError(
+                "frontier-only flooding is wrong on a time-evolving "
+                "topology: construct FloodingRule(..., reflood=True) to "
+                "re-transmit from the whole informed set each round"
+            )
+
+    # -- kernel ---------------------------------------------------------
+    @staticmethod
+    def _or_over_neighbors(
+        graph: Graph, bits: np.ndarray, verts: np.ndarray
+    ) -> np.ndarray:
+        """OR the ``bits`` planes over each vertex's neighbourhood.
+
+        Returns the ``(Wb, len(verts))`` OR-reduction of ``bits`` over
+        the neighbours of each vertex in ``verts`` (every vertex must
+        have positive degree).
+        """
+        counts = graph.degrees[verts]
+        flat = np.repeat(graph.indptr[verts], counts) + _ragged_arange(counts)
+        gathered = bits[:, graph.indices[flat]]
+        seg_starts = np.cumsum(counts) - counts
+        return np.bitwise_or.reduceat(gathered, seg_starts, axis=1)
+
+    def step(
+        self,
+        graph: Graph,
+        state: np.ndarray,
+        alive: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Expand each run's informed set by one BFS level (no RNG)."""
+        wb = state.shape[0] // 2
+        informed, frontier = state[:wb], state[wb:]
+        plane = informed if self.reflood else frontier
+        sources = np.nonzero(plane.any(axis=0) & (graph.degrees > 0))[0]
+        if sources.size == 0:
+            return np.concatenate([informed, np.zeros_like(frontier)], axis=0)
+        # Recompute exactly the columns reachable from the sources
+        # (scatter-dedup: cheaper than sorting the neighbour multiset).
+        counts = graph.degrees[sources]
+        flat = np.repeat(graph.indptr[sources], counts) + _ragged_arange(counts)
+        is_target = np.zeros(graph.n, dtype=bool)
+        is_target[graph.indices[flat]] = True
+        targets = np.nonzero(is_target)[0]
+        arrived = self._or_over_neighbors(graph, plane, targets)
+        nxt_informed = informed.copy()
+        new_bits = arrived & ~informed[:, targets]
+        nxt_informed[:, targets] |= new_bits
+        nxt_frontier = np.zeros_like(frontier)
+        nxt_frontier[:, targets] = new_bits
+        return np.concatenate([nxt_informed, nxt_frontier], axis=0)
+
+    def occupancy(self, state: np.ndarray, n: int) -> np.ndarray:
+        """Unpack the informed bitplanes into an ``(R, n)`` boolean mask."""
+        wb = state.shape[0] // 2
+        return np.unpackbits(
+            state[:wb], axis=0, count=self.runs, bitorder="little"
+        ).view(bool)
+
+    def finished(self, state: np.ndarray) -> np.ndarray:
+        """All-vertices completion evaluated on the packed bitplanes.
+
+        AND-reducing the informed planes over the vertex axis answers
+        "which runs cover everything" in O(n·R/8) byte-ops without
+        unpacking the ``(R, n)`` mask — the engine's fast path when no
+        dense per-round tracking is requested.
+        """
+        wb = state.shape[0] // 2
+        cols = np.bitwise_and.reduce(state[:wb], axis=1)
+        return np.unpackbits(cols, count=self.runs, bitorder="little").view(bool)
+
+    def default_cap(self, graph: Graph) -> int:
+        """Static flooding finishes within ``ecc < n`` rounds; dynamic
+        flooding (``reflood=True``) can stall while vertices are
+        churned out, so it gets the generous epidemic cap instead."""
+        if self.reflood:
+            return process_round_cap(graph.n, graph.m, graph.dmax)
+        return flooding_round_cap(graph.n)
+
+
+class WalkRule(SpreadRule):
+    """``k`` independent random walkers per run, one step per round.
+
+    State is an ``(R, k)`` int64 position array — the one rule whose
+    state is not a boolean mask (a boolean encoding would coalesce
+    co-located walkers and change the process).  Walkers stranded on a
+    degree-zero vertex hold their position for the round.
+    """
+
+    completion_basis = "visited"
+    state_arrays = 3
+
+    def __init__(self, k: int, lazy: bool = False) -> None:
+        if k < 1:
+            raise ValueError("need at least one walker")
+        self.k = int(k)
+        self.lazy = bool(lazy)
+
+    def step(
+        self,
+        graph: Graph,
+        state: np.ndarray,
+        alive: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Advance the walkers of every alive run by one step."""
+        all_alive = bool(alive.all())
+        positions = state.ravel() if all_alive else state[alive].ravel()
+        if graph.dmin == 0:
+            can_move = graph.degrees[positions] > 0
+            movers = positions[can_move]
+            moved = positions.copy()
+            moved[can_move] = select_targets(graph, movers, rng, self.lazy)
+        else:
+            moved = select_targets(graph, positions, rng, self.lazy)
+        if all_alive:
+            return moved.reshape(state.shape)
+        nxt = state.copy()
+        nxt[alive] = moved.reshape(-1, self.k)
+        return nxt
+
+    def occupancy(self, state: np.ndarray, n: int) -> np.ndarray:
+        """Scatter walker positions into an ``(R, n)`` boolean mask."""
+        occ = np.zeros((state.shape[0], n), dtype=bool)
+        occ[np.arange(state.shape[0])[:, None], state] = True
+        return occ
+
+    def touched(self, state: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Sparse occupancy: unique (run, vertex) pairs under the walkers.
+
+        Walks touch only ``R·k`` vertices per round, so the engine
+        updates its visited set from these coordinates instead of
+        scanning a dense ``(R, n)`` mask — without this, a long walk
+        pays O(R·n) per round for O(R·k) of actual work.
+        """
+        runs, k = state.shape
+        if k == 1:
+            return np.arange(runs, dtype=np.int64), state.ravel()
+        rows = np.repeat(np.arange(runs, dtype=np.int64), k)
+        flat = np.unique(rows * n + state.ravel())
+        return flat // n, flat % n
+
+    def default_cap(self, graph: Graph) -> int:
+        """Walk-shaped cap (see :func:`walk_round_cap`)."""
+        return walk_round_cap(graph.n, graph.dmax)

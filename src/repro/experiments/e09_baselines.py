@@ -7,17 +7,20 @@ spreading, and deterministic flooding; plus the universal lower bound
 ``max{log₂ n, Diam}``.  Shape criteria: COBRA beats the single walk by
 a wide margin on the expander; flooding (= eccentricity) is the floor;
 nothing beats the lower bound.
+
+Every sampler here executes through the unified batched engine
+(:mod:`repro.engine`): all runs of a baseline advance inside one
+``(R, n)`` boolean program instead of the historical one-run-at-a-time
+Python loops.
 """
 
 from __future__ import annotations
 
 import math
 
-import numpy as np
-
 from ..baselines.flooding import flooding_broadcast_time
 from ..baselines.multi_walk import multi_walk_cover_samples
-from ..baselines.pull import pull_broadcast_samples, push_pull_broadcast_time
+from ..baselines.pull import pull_broadcast_samples, push_pull_broadcast_samples
 from ..baselines.push import push_broadcast_samples
 from ..baselines.random_walk import random_walk_cover_samples
 from ..graphs.generators import cycle_graph, random_regular_graph, torus_graph
@@ -62,9 +65,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         push = mean_ci(push_broadcast_samples(g, runs=cobra_runs, rng=gens[2]))
         pull = mean_ci(pull_broadcast_samples(g, runs=cobra_runs, rng=gens[3]))
         pushpull = mean_ci(
-            np.array(
-                [push_pull_broadcast_time(g, rng=gens[4]) for _ in range(cobra_runs)]
-            )
+            push_pull_broadcast_samples(g, runs=cobra_runs, rng=gens[4])
         )
         flood = flooding_broadcast_time(g, 0)
         lower = lower_bound_cover(g.n, diameter(g))

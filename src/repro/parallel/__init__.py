@@ -1,11 +1,17 @@
 """Parallel execution substrate: process pools and memory-bounded batching."""
 
-from .batch import DEFAULT_STATE_BUDGET_BYTES, plan_batches, run_batched
+from .batch import (
+    DEFAULT_STATE_BUDGET_BYTES,
+    plan_batches,
+    plan_batches_for,
+    run_batched,
+)
 from .pool import default_workers, parallel_map
 
 __all__ = [
     "DEFAULT_STATE_BUDGET_BYTES",
     "plan_batches",
+    "plan_batches_for",
     "run_batched",
     "default_workers",
     "parallel_map",

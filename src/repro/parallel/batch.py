@@ -12,7 +12,12 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["plan_batches", "run_batched", "DEFAULT_STATE_BUDGET_BYTES"]
+__all__ = [
+    "plan_batches",
+    "plan_batches_for",
+    "run_batched",
+    "DEFAULT_STATE_BUDGET_BYTES",
+]
 
 #: Default cap on per-batch boolean state: 256 MiB across the ~4 (R, n)
 #: arrays the engines keep live.
@@ -39,6 +44,32 @@ def plan_batches(
     cap = max(1, min(max_batch, budget_bytes // per_run))
     full, rem = divmod(total_runs, cap)
     return [cap] * full + ([rem] if rem else [])
+
+
+def plan_batches_for(
+    rule,
+    total_runs: int,
+    n_vertices: int,
+    *,
+    budget_bytes: int = DEFAULT_STATE_BUDGET_BYTES,
+    max_batch: int = 4096,
+) -> list[int]:
+    """Plan batches using a spread rule's declared live-array count.
+
+    ``rule`` is any :class:`repro.engine.rules.SpreadRule` (duck-typed
+    through its ``state_arrays`` attribute — the number of
+    ``(R, n)``-byte boolean-array equivalents the engine keeps live per
+    run while stepping it).  This keeps the memory accounting of
+    :func:`plan_batches` in sync with what the engine actually
+    allocates, instead of the historical hard-coded ``4``.
+    """
+    return plan_batches(
+        total_runs,
+        n_vertices,
+        state_arrays=int(getattr(rule, "state_arrays", 4)),
+        budget_bytes=budget_bytes,
+        max_batch=max_batch,
+    )
 
 
 def run_batched(

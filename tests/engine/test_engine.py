@@ -1,0 +1,309 @@
+"""Engine-layer unit tests: topology adapters, caps, rules, batching."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    flooding_broadcast_times,
+    push_pull_broadcast_samples,
+)
+from repro.core import BipsProcess, CobraProcess
+from repro.core.bips import default_infection_cap
+from repro.core.branching import BernoulliBranching, FixedBranching
+from repro.core.cobra import default_round_cap
+from repro.dynamics import (
+    DynamicBipsProcess,
+    DynamicCobraProcess,
+    FrozenSequence,
+    RewiringSequence,
+    batch_seed_pair,
+    dynamic_cover_time_batch,
+    dynamic_infection_time_batch,
+)
+from repro.engine import (
+    BipsRule,
+    CobraRule,
+    FloodingRule,
+    PullRule,
+    PushRule,
+    SpreadEngine,
+    StaticTopology,
+    WalkRule,
+    as_topology,
+    process_round_cap,
+    walk_round_cap,
+)
+from repro.graphs import Graph, cycle_graph, petersen_graph, random_regular_graph
+from repro.graphs.properties import eccentricity
+from repro.parallel import plan_batches_for
+
+
+@pytest.fixture(scope="module")
+def expander():
+    return random_regular_graph(40, 4, rng=2)
+
+
+class TestTopology:
+    def test_static_wraps_graph(self, expander):
+        topo = as_topology(expander)
+        assert isinstance(topo, StaticTopology)
+        assert topo.n == expander.n
+        assert topo.graph_at(0) is expander
+        assert topo.graph_at(99) is expander
+
+    def test_sequence_passthrough(self, expander):
+        seq = FrozenSequence(expander)
+        assert as_topology(seq) is seq
+
+    def test_rejects_junk(self):
+        with pytest.raises(TypeError, match="graph-sequence"):
+            as_topology(42)
+
+
+class TestCaps:
+    """Satellite: one cap helper serves every engine (no more drift)."""
+
+    def test_core_caps_delegate(self, expander):
+        expected = process_round_cap(expander.n, expander.m, expander.dmax)
+        assert default_round_cap(expander) == expected
+        assert default_infection_cap(expander) == expected
+
+    def test_gossip_caps_agree_with_core(self, expander):
+        # push/pull previously hand-rolled a different (smaller) formula.
+        for rule in (PushRule(), PullRule(), BipsRule(FixedBranching(2), 0)):
+            assert rule.default_cap(expander) == default_round_cap(expander)
+        assert CobraRule(FixedBranching(2)).default_cap(expander) == (
+            default_round_cap(expander)
+        )
+
+    def test_walk_cap_distinct(self, expander):
+        assert WalkRule(1).default_cap(expander) == walk_round_cap(
+            expander.n, expander.dmax
+        )
+
+    def test_flooding_cap_is_n(self, expander):
+        assert FloodingRule().default_cap(expander) == expander.n
+
+    def test_dynamic_flooding_cap_generous(self, expander):
+        # Under churn a vertex can be absent past round n, so reflood
+        # mode gets the epidemic cap rather than the eccentricity one.
+        assert FloodingRule(reflood=True).default_cap(expander) == (
+            default_round_cap(expander)
+        )
+
+
+class TestPlanBatchesWiring:
+    """Satellite: plan_batches accounts the rule's declared arrays."""
+
+    def test_rule_footprints_declared(self):
+        assert BipsRule(FixedBranching(2), 0).state_arrays > CobraRule(
+            FixedBranching(2)
+        ).state_arrays
+
+    def test_heavier_rule_gets_smaller_batches(self):
+        n = 1024 * 1024
+        budget = 64 * 1024 * 1024
+        cobra = plan_batches_for(
+            CobraRule(FixedBranching(2)), 32, n, budget_bytes=budget
+        )
+        bips = plan_batches_for(
+            BipsRule(FixedBranching(2), 0), 32, n, budget_bytes=budget
+        )
+        assert sum(cobra) == sum(bips) == 32
+        assert max(bips) < max(cobra)
+
+    def test_defaults_to_four_arrays(self):
+        class Bare:
+            pass
+
+        from repro.parallel import plan_batches
+
+        assert plan_batches_for(Bare(), 10, 100) == plan_batches(10, 100)
+
+
+class TestRuleValidation:
+    def test_bips_discipline_validated(self):
+        with pytest.raises(ValueError, match="discipline"):
+            BipsRule(FixedBranching(2), 0, discipline="triple")
+
+    def test_bips_single_requires_one_run(self, expander):
+        rule = BipsRule(FixedBranching(2), 0, discipline="single")
+        state = np.zeros((2, expander.n), dtype=bool)
+        with pytest.raises(ValueError, match="R == 1"):
+            rule.step(expander, state, np.ones(2, bool), np.random.default_rng(0))
+
+    def test_walk_needs_walker(self):
+        with pytest.raises(ValueError, match="walker"):
+            WalkRule(0)
+
+    def test_push_fanout_validated(self):
+        with pytest.raises(ValueError, match="fanout"):
+            PushRule(0)
+
+    def test_frontier_flooding_rejects_dynamic_topology(self, expander):
+        # Frontier-only flooding is wrong when interior vertices can
+        # gain new neighbours; the engine enforces reflood=True there.
+        seq = FrozenSequence(expander)
+        with pytest.raises(ValueError, match="reflood"):
+            SpreadEngine(FloodingRule(runs=2), seq)
+        engine = SpreadEngine(FloodingRule(runs=2, reflood=True), seq)
+        rule = engine.rule
+        mask = np.zeros((2, expander.n), dtype=bool)
+        mask[:, 0] = True
+        res = engine.run(rule.pack(mask), np.random.default_rng(0))
+        assert res.all_finished
+
+
+class TestEngineLoop:
+    def test_result_properties(self, expander):
+        engine = SpreadEngine(CobraRule(FixedBranching(2)), expander)
+        state = np.zeros((3, expander.n), dtype=bool)
+        state[:, 0] = True
+        res = engine.run(state, np.random.default_rng(0))
+        assert res.all_finished
+        assert res.finished_fraction() == 1.0
+        assert res.rounds_run == res.finish_times.max()
+
+    def test_cap_leaves_unfinished(self):
+        g = cycle_graph(64)
+        engine = SpreadEngine(CobraRule(FixedBranching(2)), g)
+        state = np.zeros((2, 64), dtype=bool)
+        state[:, 0] = True
+        res = engine.run(state, np.random.default_rng(0), max_rounds=2)
+        assert not res.all_finished
+        assert res.rounds_run == 2
+        assert np.all(res.finish_times == -1)
+
+    def test_initial_state_not_mutated(self, expander):
+        engine = SpreadEngine(BipsRule(FixedBranching(2), 0), expander)
+        state = np.zeros((2, expander.n), dtype=bool)
+        state[:, 0] = True
+        before = state.copy()
+        engine.run(state, np.random.default_rng(1))
+        assert np.array_equal(state, before)
+
+    def test_on_round_sees_every_round(self, expander):
+        engine = SpreadEngine(BipsRule(FixedBranching(2), 0), expander)
+        state = np.zeros((1, expander.n), dtype=bool)
+        state[:, 0] = True
+        seen = []
+        res = engine.run(
+            state,
+            np.random.default_rng(2),
+            on_round=lambda t, g, s: seen.append((t, int(s.sum()))),
+        )
+        assert [t for t, _ in seen] == list(range(res.rounds_run))
+
+    def test_bernoulli_rule_through_engine(self, expander):
+        engine = SpreadEngine(CobraRule(BernoulliBranching(0.5)), expander)
+        state = np.zeros((4, expander.n), dtype=bool)
+        state[:, 0] = True
+        res = engine.run(state, np.random.default_rng(3))
+        assert res.all_finished
+
+
+class TestBatchedDynamicRunner:
+    """ROADMAP satellite: R dynamic runs share one topology realisation."""
+
+    def test_cobra_run_batch_shapes(self, expander):
+        seq = RewiringSequence(expander, 6, seed=1)
+        res = DynamicCobraProcess(seq).run_batch(
+            np.zeros(8, dtype=np.int64), np.random.default_rng(0), track_hits=True
+        )
+        assert res.cover_times.shape == (8,)
+        assert res.all_covered
+        assert res.hit_times.shape == (8, expander.n)
+        assert np.all(res.hit_times.max(axis=1) == res.cover_times)
+
+    def test_bips_run_batch_shapes(self, expander):
+        seq = RewiringSequence(expander, 6, seed=2)
+        res = DynamicBipsProcess(seq, 0).run_batch(
+            5, np.random.default_rng(1), record_sizes=True
+        )
+        assert res.infection_times.shape == (5,)
+        assert res.all_infected
+        assert res.sizes.shape[0] == 5
+        assert np.all(res.sizes[:, 0] == 1)
+
+    def test_frozen_batch_equals_static_batch(self, expander):
+        # The engine-level frozen anchor: same rule, same stream.
+        starts = np.zeros(6, dtype=np.int64)
+        frozen = DynamicCobraProcess(FrozenSequence(expander)).run_batch(
+            starts, np.random.default_rng(7)
+        )
+        static = CobraProcess(expander).run_batch(starts, np.random.default_rng(7))
+        assert np.array_equal(frozen.cover_times, static.cover_times)
+
+        frozen_b = DynamicBipsProcess(FrozenSequence(expander), 0).run_batch(
+            6, np.random.default_rng(8)
+        )
+        static_b = BipsProcess(expander, 0).run_batch(6, np.random.default_rng(8))
+        assert np.array_equal(frozen_b.infection_times, static_b.infection_times)
+
+    def test_batch_samplers_deterministic(self, expander):
+        factory = lambda topo: RewiringSequence(expander, 8, seed=topo)  # noqa: E731
+        a = dynamic_cover_time_batch(factory, 10, seed=42)
+        b = dynamic_cover_time_batch(factory, 10, seed=42)
+        c = dynamic_cover_time_batch(factory, 10, seed=43)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+        ia = dynamic_infection_time_batch(factory, 6, seed=5)
+        ib = dynamic_infection_time_batch(factory, 6, seed=5)
+        assert np.array_equal(ia, ib)
+
+    def test_batch_sampler_raises_on_cap(self):
+        stranded = Graph(3, [(0, 1)], name="stranded")
+        with pytest.raises(RuntimeError, match="round cap"):
+            dynamic_cover_time_batch(
+                FrozenSequence(stranded), 4, seed=0, max_rounds=5
+            )
+
+    def test_batch_seed_pair_published(self):
+        topo, proc = batch_seed_pair(123)
+        topo2, proc2 = batch_seed_pair(123)
+        assert np.array_equal(
+            topo.generate_state(2), topo2.generate_state(2)
+        )
+        assert np.array_equal(proc.generate_state(2), proc2.generate_state(2))
+
+
+class TestBatchedBaselines:
+    def test_flooding_batch_equals_eccentricities(self, expander):
+        starts = np.array([0, 5, 11, 23], dtype=np.int64)
+        times = flooding_broadcast_times(expander, starts)
+        assert times.tolist() == [eccentricity(expander, int(s)) for s in starts]
+
+    def test_flooding_batch_validation(self, expander):
+        with pytest.raises(ValueError):
+            flooding_broadcast_times(expander, np.empty(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            flooding_broadcast_times(expander, np.array([expander.n]))
+
+    def test_push_pull_samples(self):
+        g = petersen_graph()
+        s = push_pull_broadcast_samples(g, runs=12, rng=3)
+        assert s.shape == (12,)
+        assert np.all(s >= 1)
+
+    def test_batched_gossip_matches_single_distribution(self, expander):
+        # Batched sampler vs single-run loop: same distribution.
+        from repro.baselines import push_broadcast_samples, push_broadcast_time
+
+        batch = push_broadcast_samples(expander, runs=120, rng=5)
+        single = np.array(
+            [
+                push_broadcast_time(expander, rng=np.random.default_rng(900 + i))
+                for i in range(120)
+            ]
+        )
+        se = np.sqrt(batch.var(ddof=1) / 120 + single.var(ddof=1) / 120)
+        assert abs(batch.mean() - single.mean()) < 4 * se
+
+    def test_isolated_vertices_in_batch_bips(self):
+        # dmin == 0 batch path: isolated vertices stay uninfected.
+        g = Graph(4, [(0, 1)], name="pair-plus-isolated")
+        seq = FrozenSequence(g)
+        res = DynamicBipsProcess(seq, 0).run_batch(
+            3, np.random.default_rng(0), max_rounds=30, completion="all-active"
+        )
+        assert res.all_infected  # {0, 1} is the present set

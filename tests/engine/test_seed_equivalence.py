@@ -1,0 +1,422 @@
+"""Seed-for-seed regression: engine wrappers vs the pre-engine loops.
+
+Each ``_legacy_*`` function below is the pre-refactor implementation
+(PR 1 state) reduced to its essentials.  Every refactored wrapper must
+reproduce its legacy counterpart bit-for-bit under identical
+generators — the engine kernels are the historical inner loops, so any
+drift here means the refactor changed the process.
+
+The single intentional exception: ``random_walk_cover_time``'s legacy
+implementation drew its uniforms in blocks of 4096 (an implementation
+detail, not process semantics); its reference here is the equivalent
+per-step ``sample_neighbors`` loop, which is what the engine preserves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    multi_walk_cover_time,
+    pull_broadcast_time,
+    push_broadcast_time,
+    push_pull_broadcast_time,
+    random_walk_cover_time,
+)
+from repro.baselines.flooding import flooding_broadcast_time
+from repro.core import BipsProcess, CobraProcess
+from repro.core.branching import FixedBranching, make_policy
+from repro.dynamics import (
+    ChurnSequence,
+    DynamicBipsProcess,
+    DynamicCobraProcess,
+    RewiringSequence,
+)
+from repro.graphs import cycle_graph, petersen_graph, random_regular_graph
+from repro.graphs.properties import eccentricity
+
+
+@pytest.fixture(scope="module")
+def expander():
+    return random_regular_graph(48, 4, rng=17)
+
+
+def _legacy_select(graph, actors, rng, lazy):
+    targets = graph.sample_neighbors(actors, rng)
+    if lazy:
+        stay = rng.random(actors.shape[0]) < 0.5
+        targets = np.where(stay, actors, targets)
+    return targets
+
+
+# ----------------------------------------------------------------------
+# Legacy COBRA
+# ----------------------------------------------------------------------
+def _legacy_cobra_run(graph, policy, lazy, start, rng, cap):
+    active = np.array([start], dtype=np.int64)
+    hit = np.full(graph.n, -1, dtype=np.int64)
+    hit[active] = 0
+    uncovered = graph.n - 1
+    t = 0
+    while uncovered > 0 and t < cap:
+        t += 1
+        counts = policy.draw_counts(active.shape[0], rng)
+        actors = np.repeat(active, counts)
+        active = np.unique(_legacy_select(graph, actors, rng, lazy))
+        fresh = active[hit[active] < 0]
+        hit[fresh] = t
+        uncovered -= fresh.shape[0]
+    return (t if uncovered == 0 else -1), hit
+
+
+def _legacy_cobra_run_batch(graph, policy, lazy, starts, rng, cap):
+    runs = starts.shape[0]
+    active = np.zeros((runs, graph.n), dtype=bool)
+    active[np.arange(runs), starts] = True
+    visited = active.copy()
+    remaining = np.full(runs, graph.n - 1, dtype=np.int64)
+    cover_times = np.full(runs, -1, dtype=np.int64)
+    cover_times[remaining == 0] = 0
+    next_active = np.zeros_like(active)
+    t = 0
+    while np.any(cover_times < 0) and t < cap:
+        t += 1
+        alive = cover_times < 0
+        work = active & alive[:, None]
+        rows, verts = np.nonzero(work)
+        counts = policy.draw_counts(verts.shape[0], rng)
+        rows_rep = np.repeat(rows, counts)
+        actors = np.repeat(verts, counts)
+        targets = _legacy_select(graph, actors, rng, lazy)
+        next_active[:] = False
+        next_active[rows_rep, targets] = True
+        fresh = next_active & ~visited
+        visited |= fresh
+        remaining -= fresh.sum(axis=1)
+        cover_times[alive & (remaining == 0)] = t
+        active, next_active = next_active, active
+    return cover_times
+
+
+class TestCobraEquivalence:
+    @pytest.mark.parametrize("branching,lazy", [(2, False), (3, True), (1.5, False)])
+    def test_run(self, expander, branching, lazy):
+        policy = make_policy(branching)
+        for seed in range(4):
+            t_ref, hit_ref = _legacy_cobra_run(
+                expander, policy, lazy, 0, np.random.default_rng(seed), 10_000
+            )
+            res = CobraProcess(expander, branching, lazy=lazy).run(
+                0, np.random.default_rng(seed)
+            )
+            assert res.cover_time == t_ref
+            assert np.array_equal(res.hit_times, hit_ref)
+
+    @pytest.mark.parametrize("branching,lazy", [(2, False), (1.5, True)])
+    def test_run_batch(self, expander, branching, lazy):
+        policy = make_policy(branching)
+        starts = np.arange(9, dtype=np.int64)
+        ref = _legacy_cobra_run_batch(
+            expander, policy, lazy, starts, np.random.default_rng(5), 10_000
+        )
+        res = CobraProcess(expander, branching, lazy=lazy).run_batch(
+            starts, np.random.default_rng(5)
+        )
+        assert np.array_equal(res.cover_times, ref)
+
+
+# ----------------------------------------------------------------------
+# Legacy BIPS
+# ----------------------------------------------------------------------
+def _legacy_bips_step(graph, policy, lazy, source, infected, rng):
+    n = graph.n
+    all_vertices = np.arange(n, dtype=np.int64)
+    pick = _legacy_select(graph, all_vertices, rng, lazy)
+    nxt = infected[pick]
+    if isinstance(policy, FixedBranching) and policy.b >= 2:
+        for _ in range(policy.b - 1):
+            pick = _legacy_select(graph, all_vertices, rng, lazy)
+            nxt |= infected[pick]
+    else:
+        p2 = policy.second_selection_probability()
+        if p2 > 0.0:
+            second = rng.random(n) < p2
+            actors = all_vertices[second]
+            pick2 = _legacy_select(graph, actors, rng, lazy)
+            nxt[actors] |= infected[pick2]
+    nxt[source] = True
+    return nxt
+
+
+def _legacy_bips_run(graph, policy, lazy, source, rng, cap):
+    infected = np.zeros(graph.n, dtype=bool)
+    infected[source] = True
+    sizes = [1]
+    t = 0
+    while not infected.all() and t < cap:
+        t += 1
+        infected = _legacy_bips_step(graph, policy, lazy, source, infected, rng)
+        sizes.append(int(infected.sum()))
+    return (t if infected.all() else -1), np.asarray(sizes, dtype=np.int64)
+
+
+def _legacy_bips_run_batch(graph, policy, lazy, source, runs, rng, cap):
+    n = graph.n
+    all_vertices = np.arange(n, dtype=np.int64)
+    infected = np.zeros((runs, n), dtype=bool)
+    infected[:, source] = True
+    times = np.full(runs, -1, dtype=np.int64)
+    t = 0
+    while np.any(times < 0) and t < cap:
+        t += 1
+        alive = times < 0
+        verts_tile = np.tile(all_vertices, runs)
+        pick = _legacy_select(graph, verts_tile, rng, lazy).reshape(runs, n)
+        nxt = np.take_along_axis(infected, pick, axis=1)
+        if isinstance(policy, FixedBranching):
+            for _ in range(policy.b - 1):
+                pick = _legacy_select(graph, verts_tile, rng, lazy).reshape(runs, n)
+                nxt |= np.take_along_axis(infected, pick, axis=1)
+        else:
+            p2 = policy.second_selection_probability()
+            if p2 > 0.0:
+                pick = _legacy_select(graph, verts_tile, rng, lazy).reshape(runs, n)
+                second = rng.random((runs, n)) < p2
+                nxt |= np.take_along_axis(infected, pick, axis=1) & second
+        nxt[:, source] = True
+        infected = np.where(alive[:, None], nxt, infected)
+        times[alive & infected.all(axis=1)] = t
+    return times
+
+
+class TestBipsEquivalence:
+    @pytest.mark.parametrize("branching,lazy", [(2, False), (3, False), (1.5, True)])
+    def test_run(self, expander, branching, lazy):
+        policy = make_policy(branching)
+        for seed in range(4):
+            t_ref, sizes_ref = _legacy_bips_run(
+                expander, policy, lazy, 0, np.random.default_rng(seed), 10_000
+            )
+            res = BipsProcess(expander, 0, branching, lazy=lazy).run(
+                np.random.default_rng(seed)
+            )
+            assert res.infection_time == t_ref
+            assert np.array_equal(res.sizes, sizes_ref)
+
+    @pytest.mark.parametrize("branching,lazy", [(2, False), (1, False), (1.5, True)])
+    def test_run_batch(self, expander, branching, lazy):
+        policy = make_policy(branching)
+        ref = _legacy_bips_run_batch(
+            expander, policy, lazy, 0, 7, np.random.default_rng(9), 10_000
+        )
+        res = BipsProcess(expander, 0, branching, lazy=lazy).run_batch(
+            7, np.random.default_rng(9)
+        )
+        assert np.array_equal(res.infection_times, ref)
+
+
+# ----------------------------------------------------------------------
+# Legacy gossip baselines (single runs; the samplers are now batched)
+# ----------------------------------------------------------------------
+def _legacy_push_time(graph, start, rng, fanout, cap):
+    informed = np.zeros(graph.n, dtype=bool)
+    informed[start] = True
+    t = 0
+    while int(informed.sum()) < graph.n and t < cap:
+        t += 1
+        senders = np.repeat(np.nonzero(informed)[0], fanout)
+        informed[graph.sample_neighbors(senders, rng)] = True
+    return t
+
+
+def _legacy_pull_time(graph, start, rng, cap):
+    informed = np.zeros(graph.n, dtype=bool)
+    informed[start] = True
+    t = 0
+    while int(informed.sum()) < graph.n and t < cap:
+        t += 1
+        askers = np.nonzero(~informed)[0]
+        answers = graph.sample_neighbors(askers, rng)
+        informed[askers] |= informed[answers]
+    return t
+
+
+def _legacy_push_pull_time(graph, start, rng, cap):
+    informed = np.zeros(graph.n, dtype=bool)
+    informed[start] = True
+    t = 0
+    while int(informed.sum()) < graph.n and t < cap:
+        t += 1
+        before = informed.copy()
+        senders = np.nonzero(before)[0]
+        askers = np.nonzero(~before)[0]
+        pushed = graph.sample_neighbors(senders, rng)
+        answers = graph.sample_neighbors(askers, rng)
+        informed[pushed] = True
+        informed[askers] |= before[answers]
+    return t
+
+
+def _legacy_multi_walk_time(graph, k, start, rng, lazy, cap):
+    positions = np.full(k, start, dtype=np.int64)
+    seen = np.zeros(graph.n, dtype=bool)
+    seen[positions] = True
+    remaining = graph.n - int(seen.sum())
+    t = 0
+    while remaining > 0 and t < cap:
+        t += 1
+        nxt = graph.sample_neighbors(positions, rng)
+        if lazy:
+            stay = rng.random(k) < 0.5
+            nxt = np.where(stay, positions, nxt)
+        positions = nxt
+        seen[positions] = True
+        remaining = graph.n - int(seen.sum())
+    return t
+
+
+class TestBaselineEquivalence:
+    def test_push(self, expander):
+        for seed, fanout in ((0, 1), (1, 2), (2, 1)):
+            ref = _legacy_push_time(expander, 3, np.random.default_rng(seed), fanout, 10_000)
+            new = push_broadcast_time(
+                expander, 3, rng=np.random.default_rng(seed), fanout=fanout
+            )
+            assert new == ref
+
+    def test_pull(self, expander):
+        for seed in range(3):
+            ref = _legacy_pull_time(expander, 1, np.random.default_rng(seed), 10_000)
+            new = pull_broadcast_time(expander, 1, rng=np.random.default_rng(seed))
+            assert new == ref
+
+    def test_push_pull(self, expander):
+        for seed in range(3):
+            ref = _legacy_push_pull_time(expander, 2, np.random.default_rng(seed), 10_000)
+            new = push_pull_broadcast_time(expander, 2, rng=np.random.default_rng(seed))
+            assert new == ref
+
+    def test_multi_walk(self, expander):
+        for seed, k, lazy in ((0, 4, False), (1, 7, True), (2, 1, False)):
+            ref = _legacy_multi_walk_time(
+                expander, k, 0, np.random.default_rng(seed), lazy, 100_000
+            )
+            new = multi_walk_cover_time(
+                expander, k, 0, rng=np.random.default_rng(seed), lazy=lazy
+            )
+            assert new == ref
+
+    def test_random_walk_matches_per_step_reference(self):
+        # Reference: one sample_neighbors draw per step (the engine's
+        # stream; the historical block-drawing loop is not preserved).
+        g = petersen_graph()
+        for seed in range(3):
+            ref = _legacy_multi_walk_time(
+                g, 1, 0, np.random.default_rng(seed), False, 100_000
+            )
+            new = random_walk_cover_time(g, 0, rng=np.random.default_rng(seed))
+            assert new == ref
+
+    def test_flooding_equals_eccentricity(self, expander):
+        for start in (0, 7, 23):
+            assert flooding_broadcast_time(expander, start) == eccentricity(
+                expander, start
+            )
+
+
+# ----------------------------------------------------------------------
+# Legacy dynamic runners
+# ----------------------------------------------------------------------
+def _legacy_dynamic_cobra_run(sequence, start, rng, cap):
+    """The PR 1 dynamic COBRA loop built on the static ``step`` kernel."""
+    n = sequence.n
+    active = np.array([start], dtype=np.int64)
+    hit = np.full(n, -1, dtype=np.int64)
+    hit[active] = 0
+    uncovered = n - 1
+    t = 0
+    while uncovered > 0 and t < cap:
+        graph = sequence.graph_at(t)
+        proc = CobraProcess(graph, 2, validate=False)
+        stranded = graph.degrees[active] == 0
+        if not stranded.any():
+            active = proc.step(active, rng)
+        else:
+            movers = active[~stranded]
+            if movers.size == 0:
+                active = active.copy()
+            else:
+                active = np.union1d(proc.step(movers, rng), active[stranded])
+        t += 1
+        fresh = active[hit[active] < 0]
+        hit[fresh] = t
+        uncovered -= fresh.shape[0]
+    return (t if uncovered == 0 else -1), hit
+
+
+def _legacy_dynamic_bips_step(graph, policy, source, infected, rng):
+    """The PR 1 isolated-vertex fallback round (b = 2, non-lazy)."""
+    if graph.dmin >= 1:
+        return _legacy_bips_step(graph, policy, False, source, infected, rng)
+    live = np.nonzero(graph.degrees > 0)[0]
+    nxt = np.zeros(graph.n, dtype=bool)
+    if live.size:
+        pick = _legacy_select(graph, live, rng, False)
+        nxt[live] = infected[pick]
+        for _ in range(policy.b - 1):
+            pick = _legacy_select(graph, live, rng, False)
+            nxt[live] |= infected[pick]
+    nxt[source] = True
+    return nxt
+
+
+def _legacy_dynamic_bips_run(sequence, source, rng, cap):
+    n = sequence.n
+    policy = FixedBranching(2)
+    infected = np.zeros(n, dtype=bool)
+    infected[source] = True
+    t = 0
+    while not infected.all() and t < cap:
+        graph = sequence.graph_at(t)
+        infected = _legacy_dynamic_bips_step(graph, policy, source, infected, rng)
+        t += 1
+    return (t if infected.all() else -1), infected
+
+
+class TestDynamicEquivalence:
+    def test_dynamic_cobra_rewiring(self, expander):
+        for seed in range(3):
+            seq_a = RewiringSequence(expander, 6, seed=31)
+            seq_b = RewiringSequence(expander, 6, seed=31)
+            t_ref, hit_ref = _legacy_dynamic_cobra_run(
+                seq_a, 0, np.random.default_rng(seed), 10_000
+            )
+            res = DynamicCobraProcess(seq_b).run(0, np.random.default_rng(seed))
+            assert res.cover_time == t_ref
+            assert np.array_equal(res.hit_times, hit_ref)
+
+    def test_dynamic_bips_churn(self, expander):
+        # Churn snapshots contain isolated vertices: exercises the
+        # degree-restricted kernel path.
+        for seed in range(3):
+            seq_a = ChurnSequence(expander, 0.15, 0.5, seed=41)
+            seq_b = ChurnSequence(expander, 0.15, 0.5, seed=41)
+            t_ref, infected_ref = _legacy_dynamic_bips_run(
+                seq_a, 0, np.random.default_rng(seed), 500
+            )
+            res = DynamicBipsProcess(seq_b, 0).run(
+                np.random.default_rng(seed), max_rounds=500
+            )
+            assert res.infection_time == t_ref
+            # The final masks agree even when the cap is hit: the whole
+            # 500-round trajectory is stream-identical.
+            assert np.array_equal(res.final_infected, infected_ref)
+
+    def test_dynamic_cycle(self):
+        cycle = cycle_graph(21)
+        seq_a = RewiringSequence(cycle, 4, seed=5)
+        seq_b = RewiringSequence(cycle, 4, seed=5)
+        t_ref, _ = _legacy_dynamic_cobra_run(
+            seq_a, 3, np.random.default_rng(11), 10_000
+        )
+        res = DynamicCobraProcess(seq_b).run(3, np.random.default_rng(11))
+        assert res.cover_time == t_ref

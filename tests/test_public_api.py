@@ -26,6 +26,7 @@ class TestTopLevelApi:
         import repro.baselines
         import repro.core
         import repro.dynamics
+        import repro.engine
         import repro.experiments
         import repro.graphs
         import repro.parallel
@@ -36,6 +37,7 @@ class TestTopLevelApi:
             repro.baselines,
             repro.core,
             repro.dynamics,
+            repro.engine,
             repro.experiments,
             repro.graphs,
             repro.parallel,
