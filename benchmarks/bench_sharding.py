@@ -1,0 +1,211 @@
+"""Sharded-engine throughput: multiprocess R-axis fan-out vs one process.
+
+Times COBRA cover sampling at ``n = 16384``, ``R = 1024`` (the ISSUE 3
+headline cell) three ways:
+
+* **run_batch** — the single-process batched engine, one stream;
+* **run_sharded, workers=1** — the same shard plan executed serially
+  (isolates shard-planning overhead from parallel speedup);
+* **run_sharded, workers=2,4,...** — shards fanned out over processes
+  against the shared-memory CSR graph.
+
+Every invocation appends its measurements to ``BENCH_sharding.json``
+at the repo root via :mod:`benchmarks.record`, so the speedup
+trajectory is tracked across PRs.  The pytest gate asserts the ≥ 3×
+wall-clock win of 4 workers over ``run_batch`` — on machines that
+actually have ≥ 4 CPUs (it records, but skips the assertion, on
+smaller boxes: fan-out cannot beat the hardware).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_sharding.py            # full cell
+    PYTHONPATH=src python benchmarks/bench_sharding.py --smoke    # seconds
+    PYTHONPATH=src python -m pytest benchmarks/bench_sharding.py -v
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+import pytest
+from record import machine_context, record_bench
+
+from repro.core.branching import make_policy
+from repro.core.cobra import CobraProcess
+from repro.engine import CobraRule, SpreadEngine
+from repro.graphs import random_regular_graph
+
+N = 16384
+RUNS = 1024
+DEGREE = 8
+SEED = 20170724
+WORKER_GRID = (1, 2, 4)
+SPEEDUP_FLOOR = 3.0
+MIN_CPUS_FOR_GATE = 4
+
+
+def build_cell(n: int = N, runs: int = RUNS):
+    """The benchmark cell: an expander, a COBRA engine, one-hot starts."""
+    graph = random_regular_graph(n, DEGREE, rng=1)
+    engine = SpreadEngine(CobraRule(make_policy(2)), graph)
+    state = np.zeros((runs, n), dtype=bool)
+    state[:, 0] = True
+    return graph, engine, state
+
+
+def time_run_batch(graph, runs: int) -> tuple[float, np.ndarray]:
+    """Single-process baseline: one ``run_batch`` stream over all runs."""
+    proc = CobraProcess(graph)
+    starts = np.zeros(runs, dtype=np.int64)
+    t0 = time.perf_counter()
+    res = proc.run_batch(starts, np.random.default_rng(SEED))
+    return time.perf_counter() - t0, res.cover_times
+
+
+def time_run_sharded(
+    engine, state, workers: int, max_shard: int | None
+) -> tuple[float, np.ndarray]:
+    """Sharded path at a given worker count (same seed, same shard plan)."""
+    t0 = time.perf_counter()
+    res = engine.run_sharded(state, SEED, workers=workers, max_shard=max_shard)
+    return time.perf_counter() - t0, res.finish_times
+
+
+def measure(
+    n: int = N,
+    runs: int = RUNS,
+    worker_grid=WORKER_GRID,
+    max_shard: int | None = None,
+) -> list[dict]:
+    """Measure the full cell; returns one row per execution mode.
+
+    ``max_shard`` caps runs per shard; smoke cells pass a small value
+    so that even a tiny run count splits into several shards and the
+    multiprocess path genuinely executes (the default plan would fold
+    ``runs <= 256`` into one shard, silently serialising every worker
+    count).
+    """
+    graph, engine, state = build_cell(n, runs)
+    base_seconds, base_times = time_run_batch(graph, runs)
+    rows = [
+        {
+            "mode": "run_batch",
+            "n": n,
+            "runs": runs,
+            "workers": 0,
+            "seconds": round(base_seconds, 4),
+            "speedup_vs_batch": 1.0,
+            "mean_cover": float(base_times.mean()),
+        }
+    ]
+    reference = None
+    for workers in worker_grid:
+        seconds, times = time_run_sharded(engine, state, workers, max_shard)
+        if reference is None:
+            reference = times
+        elif not np.array_equal(times, reference):
+            raise AssertionError(
+                f"sharded samples differ at workers={workers} — "
+                "determinism contract broken"
+            )
+        rows.append(
+            {
+                "mode": "run_sharded",
+                "n": n,
+                "runs": runs,
+                "workers": workers,
+                "seconds": round(seconds, 4),
+                "speedup_vs_batch": round(base_seconds / seconds, 3),
+                "mean_cover": float(times.mean()),
+            }
+        )
+    return rows
+
+
+def best_speedup(rows: list[dict]) -> float:
+    """Best sharded speedup over the single-process batch baseline."""
+    return max(r["speedup_vs_batch"] for r in rows if r["mode"] == "run_sharded")
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_sharded_determinism_small():
+    """Cheap correctness gate: identical samples at 1/2/4 workers."""
+    _, engine, state = build_cell(n=512, runs=96)
+    ref = engine.run_sharded(state, 7, workers=1, max_shard=16)
+    for workers in (2, 4):
+        got = engine.run_sharded(state, 7, workers=workers, max_shard=16)
+        assert np.array_equal(got.finish_times, ref.finish_times)
+
+
+@pytest.mark.skipif(
+    machine_context()["cpus"] < MIN_CPUS_FOR_GATE,
+    reason=f"speedup gate needs >= {MIN_CPUS_FOR_GATE} CPUs",
+)
+def test_sharded_speedup_gate():
+    """Acceptance gate: >= 3x over run_batch at n=16384, R=1024, 4 workers."""
+    rows = measure()
+    record_bench("sharding", rows, meta={"gate": f">={SPEEDUP_FLOOR}x"})
+    speedup = best_speedup(rows)
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"best sharded speedup {speedup:.2f}x below the "
+        f"{SPEEDUP_FLOOR}x floor: {rows}"
+    )
+
+
+# ----------------------------------------------------------------------
+# script entry point
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    """Measure, print the table, and append to BENCH_sharding.json."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=N)
+    parser.add_argument("--runs", type=int, default=RUNS)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=list(WORKER_GRID),
+        help="worker counts to time (default: 1 2 4)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny cell (n=1024, R=128) for CI smoke runs",
+    )
+    args = parser.parse_args(argv)
+    # Smoke: tiny cell, but max_shard=32 so 128 runs still split into 4
+    # shards and worker pools really spin up.
+    n, runs, max_shard = (
+        (1024, 128, 32) if args.smoke else (args.n, args.runs, None)
+    )
+
+    rows = measure(n, runs, tuple(args.workers), max_shard=max_shard)
+    ctx = machine_context()
+    print(f"COBRA b=2 on rreg-{DEGREE}-{n}, R={runs} ({ctx['cpus']} CPUs)")
+    header = f"{'mode':12} {'workers':>8} {'seconds':>9} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['mode']:12} {row['workers']:>8} {row['seconds']:>9.3f} "
+            f"{row['speedup_vs_batch']:>7.2f}x"
+        )
+    path = record_bench(
+        "sharding", rows, meta={"smoke": bool(args.smoke), "seed": SEED}
+    )
+    print(f"recorded -> {path}")
+    if ctx["cpus"] < MIN_CPUS_FOR_GATE:
+        print(
+            f"note: only {ctx['cpus']} CPU(s) visible — the >= "
+            f"{SPEEDUP_FLOOR}x gate needs {MIN_CPUS_FOR_GATE}+ cores"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Perf-trajectory recording: append benchmark runs to ``BENCH_*.json``.
+
+Each benchmark that wants a persistent trajectory calls
+:func:`record_bench` with its measurement rows; the helper appends an
+entry (rows + machine context + timestamp) to ``BENCH_<name>.json`` at
+the repository root, so successive PRs accumulate a regression
+trajectory instead of overwriting each other.
+
+Format::
+
+    {
+      "bench": "sharding",
+      "entries": [
+        {"timestamp": "...", "machine": {"cpus": 8, "python": "3.11.7"},
+         "meta": {...}, "rows": [{...}, ...]},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from datetime import datetime, timezone
+from pathlib import Path
+
+#: Repository root (the parent of ``benchmarks/``): where BENCH_*.json live.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def machine_context() -> dict:
+    """CPU count + python version, attached to every recorded entry."""
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+    return {"cpus": cpus, "python": platform.python_version()}
+
+
+def record_bench(
+    name: str,
+    rows: list[dict],
+    *,
+    meta: dict | None = None,
+    root: Path | str | None = None,
+) -> Path:
+    """Append one benchmark entry to ``BENCH_<name>.json``; returns the path.
+
+    ``rows`` is the run's measurement table (list of flat dicts);
+    ``meta`` is optional run-level context (parameters, gate results).
+    Creates the file on first use, appends thereafter.
+    """
+    path = Path(root or REPO_ROOT) / f"BENCH_{name}.json"
+    if path.exists():
+        payload = json.loads(path.read_text())
+        if payload.get("bench") != name:
+            raise ValueError(f"{path} records bench {payload.get('bench')!r}")
+    else:
+        payload = {"bench": name, "entries": []}
+    payload["entries"].append(
+        {
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "machine": machine_context(),
+            "meta": meta or {},
+            "rows": rows,
+        }
+    )
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

@@ -67,6 +67,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--lazy", action="store_true", help="use the lazy variant (bipartite fix)"
     )
     cover_p.add_argument("--seed", type=int, default=0)
+    cover_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard the runs over this many worker processes (shared-memory "
+        "CSR graph, per-shard spawned seeds; results identical at any "
+        "worker count, default: single-stream serial path)",
+    )
 
     traj_p = sub.add_parser(
         "trajectory",
@@ -80,6 +88,13 @@ def build_parser() -> argparse.ArgumentParser:
     traj_p.add_argument("--runs", type=int, default=60)
     traj_p.add_argument("--lazy", action="store_true")
     traj_p.add_argument("--seed", type=int, default=0)
+    traj_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the recorded engine pass "
+        "(default: serial; the series are identical at any count)",
+    )
 
     dyn_p = sub.add_parser(
         "dynamics",
@@ -127,6 +142,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="draw an independent topology realisation per run (slow "
         "scalar loop) instead of the default batched runner, which "
         "advances all runs on one shared realisation at hardware speed",
+    )
+    dyn_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard the batched runner over this many worker processes, "
+        "each shard realising its sequence locally from a spawned seed "
+        "(ignored with --independent; results identical at any count)",
     )
     return parser
 
@@ -247,7 +270,13 @@ def _cmd_cover(args: argparse.Namespace) -> int:
         lazy = True
     rng = np.random.default_rng(args.seed)
     samples = cover_time_samples(
-        g, args.start, args.runs, branching=args.branching, lazy=lazy, rng=rng
+        g,
+        args.start,
+        args.runs,
+        branching=args.branching,
+        lazy=lazy,
+        rng=rng,
+        workers=args.workers,
     )
     mean = mean_ci(samples)
     whp = whp_quantile(samples, rng=rng)
@@ -270,11 +299,11 @@ def _cmd_trajectory(args: argparse.Namespace) -> int:
     lazy = args.lazy or is_bipartite(g)
     if args.process == "bips":
         ensemble = bips_size_ensemble(
-            g, runs=args.runs, lazy=lazy, seed=args.seed
+            g, runs=args.runs, lazy=lazy, seed=args.seed, workers=args.workers
         )
     else:
         ensemble = cobra_coverage_ensemble(
-            g, runs=args.runs, lazy=lazy, seed=args.seed
+            g, runs=args.runs, lazy=lazy, seed=args.seed, workers=args.workers
         )
     print(render_ensemble(ensemble))
     return 0
@@ -360,6 +389,13 @@ def _cmd_dynamics(args: argparse.Namespace) -> int:
         sample_cover = dynamic_cover_time_batch
         sample_infec = dynamic_infection_time_batch
         mode = "batched (R, n) engine, shared realisation"
+    extra = {}
+    if not args.independent and args.workers is not None:
+        extra["workers"] = args.workers
+        mode = (
+            f"sharded (R, n) engine, {args.workers} workers, "
+            "shard-local realisations"
+        )
     try:
         if args.process == "cobra":
             samples = sample_cover(
@@ -369,6 +405,7 @@ def _cmd_dynamics(args: argparse.Namespace) -> int:
                 lazy=args.lazy,
                 seed=args.seed,
                 completion=args.completion,
+                **extra,
             )
             measured = "cover time"
         else:
@@ -379,6 +416,7 @@ def _cmd_dynamics(args: argparse.Namespace) -> int:
                 lazy=args.lazy,
                 seed=args.seed,
                 completion=args.completion,
+                **extra,
             )
             measured = "infection time"
     except RuntimeError as exc:

@@ -268,17 +268,35 @@ def infection_time_samples(
     rng: np.random.Generator | int | None = None,
     max_rounds: int | None = None,
     batch_size: int = 256,
+    workers: int | None = None,
 ) -> np.ndarray:
     """Sample ``infec(source)`` ``runs`` times via the batch engine.
 
     Batches are planned by :func:`repro.parallel.plan_batches_for`
     under the BIPS rule's declared state footprint, capped at
-    ``batch_size`` runs each.
+    ``batch_size`` runs each.  ``workers`` switches to the sharded
+    multiprocess path, exactly as in
+    :func:`repro.core.cobra.cover_time_samples`.
     """
-    gen = generator_from(rng)
     proc = BipsProcess(graph, source, branching, lazy=lazy)
     if runs <= 0:
         return np.empty(0, dtype=np.int64)
+    if workers is not None:
+        from ..parallel.sharding import finished_times_or_raise
+
+        state = np.zeros((int(runs), graph.n), dtype=bool)
+        state[:, proc.source] = True
+        res = proc._engine_batch.run_sharded(
+            state,
+            rng,
+            workers=int(workers),
+            max_rounds=max_rounds,
+            max_shard=batch_size,
+        )
+        return finished_times_or_raise(
+            res.finish_times, f"sharded BIPS on {graph.name}"
+        )
+    gen = generator_from(rng)
     out = []
     for r in plan_batches_for(
         proc.rule_batch, int(runs), graph.n, max_batch=batch_size

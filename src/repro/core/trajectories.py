@@ -6,6 +6,16 @@ common round axis with mean and quantile bands.  Runs end at different
 rounds, so series are padded with their terminal value (the infected
 set stays full; the visited count stays ``n``), which is the correct
 continuation for monotone-terminal processes.
+
+Collection is one pass through the batched engine: all runs advance
+together with per-round recording switched on
+(``record_sizes`` / ``record_visited`` in
+:meth:`repro.engine.SpreadEngine.run` — merged across shards by
+:meth:`~repro.engine.SpreadEngine.run_sharded`), instead of the
+historical one-run-at-a-time re-execution of the process per
+experiment.  The engine's freeze/padding semantics already implement
+the terminal-value convention, so the recorded block *is* the aligned
+ensemble.
 """
 
 from __future__ import annotations
@@ -15,7 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graphs.graph import Graph
-from ..stats.rng import spawn_generators
+from ..graphs.validation import check_vertex
 from .bips import BipsProcess
 from .branching import BranchingPolicy
 from .cobra import CobraProcess
@@ -78,15 +88,6 @@ class TrajectoryEnsemble:
         ]
 
 
-def _align(series_list: list[np.ndarray]) -> np.ndarray:
-    horizon = max(s.shape[0] for s in series_list)
-    out = np.empty((len(series_list), horizon), dtype=np.float64)
-    for i, s in enumerate(series_list):
-        out[i, : s.shape[0]] = s
-        out[i, s.shape[0] :] = s[-1]  # terminal-value padding
-    return out
-
-
 def bips_size_ensemble(
     graph: Graph,
     source: int = 0,
@@ -95,16 +96,28 @@ def bips_size_ensemble(
     branching: BranchingPolicy | int | float = 2,
     lazy: bool = False,
     seed=0,
+    workers: int | None = None,
 ) -> TrajectoryEnsemble:
-    """Ensemble of BIPS infection-size series ``|A_t|``."""
+    """Ensemble of BIPS infection-size series ``|A_t|``.
+
+    One recorded pass of the batched engine; a finished run's row
+    continues at ``n``, the engine's freeze value.  ``workers`` fans
+    the pass out over processes (``None`` = serial, like the sampling
+    wrappers; the series are identical at any count).  Raises if any
+    run hits the round cap.
+    """
     proc = BipsProcess(graph, source, branching, lazy=lazy)
-    series = []
-    for gen in spawn_generators(seed, runs):
-        res = proc.run(gen)
-        if not res.infected_all:
-            raise RuntimeError(f"BIPS hit the round cap on {graph.name}")
-        series.append(res.sizes.astype(np.float64))
-    return TrajectoryEnsemble(label=f"bips-sizes:{graph.name}", series=_align(series))
+    state = np.zeros((int(runs), graph.n), dtype=bool)
+    state[:, proc.source] = True
+    res = proc._engine_batch.run_sharded(
+        state, seed, workers=1 if workers is None else workers, record_sizes=True
+    )
+    if not res.all_finished:
+        raise RuntimeError(f"BIPS hit the round cap on {graph.name}")
+    return TrajectoryEnsemble(
+        label=f"bips-sizes:{graph.name}",
+        series=res.sizes.astype(np.float64),
+    )
 
 
 def cobra_coverage_ensemble(
@@ -115,15 +128,24 @@ def cobra_coverage_ensemble(
     branching: BranchingPolicy | int | float = 2,
     lazy: bool = False,
     seed=0,
+    workers: int | None = None,
 ) -> TrajectoryEnsemble:
-    """Ensemble of COBRA cumulative-coverage series ``|∪_{s<=t} C_s|``."""
+    """Ensemble of COBRA cumulative-coverage series ``|∪_{s<=t} C_s|``.
+
+    One recorded pass of the batched engine; the visited count is
+    monotone, so terminal-value continuation at ``n`` is exact.
+    ``workers`` as in :func:`bips_size_ensemble`.  Raises if any run
+    hits the round cap.
+    """
     proc = CobraProcess(graph, branching, lazy=lazy)
-    series = []
-    for gen in spawn_generators(seed, runs):
-        res = proc.run(start, gen, record=True)
-        if not res.covered:
-            raise RuntimeError(f"COBRA hit the round cap on {graph.name}")
-        series.append(res.visited_counts.astype(np.float64))
+    state = np.zeros((int(runs), graph.n), dtype=bool)
+    state[:, check_vertex(graph, int(start))] = True
+    res = proc._engine.run_sharded(
+        state, seed, workers=1 if workers is None else workers, record_visited=True
+    )
+    if not res.all_finished:
+        raise RuntimeError(f"COBRA hit the round cap on {graph.name}")
     return TrajectoryEnsemble(
-        label=f"cobra-coverage:{graph.name}", series=_align(series)
+        label=f"cobra-coverage:{graph.name}",
+        series=res.visited_counts.astype(np.float64),
     )

@@ -367,6 +367,67 @@ def _resolve_sequence(sequence, topology_seed) -> GraphSequence:
     raise TypeError("expected a GraphSequence or a factory seed -> GraphSequence")
 
 
+def _sharded_dynamic_times(
+    sequence,
+    runs: int,
+    rule,
+    start_column: int,
+    seed,
+    *,
+    max_rounds: int | None,
+    completion: str,
+    workers: int,
+    what: str,
+) -> np.ndarray:
+    """Shard a dynamic batched sampler over worker processes.
+
+    Each shard realises its *own* :class:`GraphSequence` from the
+    topology half of its spawned seed pair (so a factory argument
+    yields one independent realisation per shard — between the single
+    shared realisation of the plain batch path and the one-per-run of
+    the scalar samplers); a plain :class:`GraphSequence` argument is
+    shared by every shard, preserving quenched semantics.  The shard
+    plan and seeds are independent of ``workers``, so the returned
+    samples are identical at any worker count.
+    """
+    from ..engine.completion import make_completion
+    from ..parallel.sharding import (
+        ShardTask,
+        execute_shards,
+        finished_times_or_raise,
+        merge_shard_results,
+        plan_shards,
+    )
+
+    # A probe realisation pins n (and validates the start vertex)
+    # without consuming any shard's seeds.
+    probe_topo, _ = batch_seed_pair(seed)
+    n = _resolve_sequence(sequence, probe_topo).n
+    start_column = int(start_column)
+    if not 0 <= start_column < n:
+        raise ValueError(f"vertex {start_column} out of range [0, {n})")
+
+    shard_sizes = plan_shards(rule, int(runs), n)
+    criterion = make_completion(completion)
+    tasks = []
+    for shard_seed, r in zip(spawn_seeds(seed, len(shard_sizes)), shard_sizes):
+        topo_seed, proc_seed = batch_seed_pair(shard_seed)
+        state = np.zeros((r, n), dtype=bool)
+        state[:, start_column] = True
+        tasks.append(
+            ShardTask(
+                rule=rule,
+                topology=_resolve_sequence(sequence, topo_seed),
+                completion=criterion,
+                state=state,
+                seed=proc_seed,
+                max_rounds=max_rounds,
+            )
+        )
+    res = merge_shard_results(execute_shards(tasks, workers))
+    return finished_times_or_raise(res.finish_times, f"sharded dynamic {what}")
+
+
 def dynamic_cover_time_samples(
     sequence,
     runs: int = 32,
@@ -446,15 +507,35 @@ def dynamic_cover_time_batch(
     seed: int | np.random.SeedSequence = 0,
     max_rounds: int | None = None,
     completion: str = "all-vertices",
+    workers: int | None = None,
 ) -> np.ndarray:
     """Sample dynamic COBRA cover times with the batched runner.
 
-    All ``runs`` share one topology realisation (drawn from the
-    topology half of :func:`batch_seed_pair`) and advance together in
-    one ``(R, n)`` boolean program — the hardware-speed estimator for
-    quenched (per-realisation) statistics.  Raises if any run hits the
-    round cap.
+    By default all ``runs`` share one topology realisation (drawn from
+    the topology half of :func:`batch_seed_pair`) and advance together
+    in one ``(R, n)`` boolean program — the hardware-speed estimator
+    for quenched (per-realisation) statistics.  Raises if any run hits
+    the round cap.
+
+    ``workers`` (any int >= 1) switches to sharded execution: the R
+    axis splits into deterministic shards fanned out over worker
+    processes, each shard realising its sequence locally from a
+    spawned seed (see :func:`repro.parallel.run_sharded`).  Sharded
+    samples are identical at every worker count but are a different —
+    equally valid — stream than the default single-batch path.
     """
+    if workers is not None:
+        return _sharded_dynamic_times(
+            sequence,
+            runs,
+            CobraRule(make_policy(branching), lazy=lazy),
+            int(start),
+            seed,
+            max_rounds=max_rounds,
+            completion=completion,
+            workers=int(workers),
+            what="COBRA",
+        )
     topo_seed, proc_seed = batch_seed_pair(seed)
     seq = _resolve_sequence(sequence, topo_seed)
     proc = DynamicCobraProcess(seq, branching, lazy=lazy)
@@ -482,12 +563,27 @@ def dynamic_infection_time_batch(
     seed: int | np.random.SeedSequence = 0,
     max_rounds: int | None = None,
     completion: str = "all-vertices",
+    workers: int | None = None,
 ) -> np.ndarray:
     """Sample dynamic BIPS infection times with the batched runner.
 
     The BIPS counterpart of :func:`dynamic_cover_time_batch`: one
-    shared topology realisation, one ``(R, n)`` program.
+    shared topology realisation, one ``(R, n)`` program — or, with
+    ``workers`` set, deterministic shards over worker processes with
+    shard-local realisations (see :func:`dynamic_cover_time_batch`).
     """
+    if workers is not None:
+        return _sharded_dynamic_times(
+            sequence,
+            runs,
+            BipsRule(make_policy(branching), int(source), lazy=lazy),
+            int(source),
+            seed,
+            max_rounds=max_rounds,
+            completion=completion,
+            workers=int(workers),
+            what="BIPS",
+        )
     topo_seed, proc_seed = batch_seed_pair(seed)
     seq = _resolve_sequence(sequence, topo_seed)
     proc = DynamicBipsProcess(seq, source, branching, lazy=lazy)

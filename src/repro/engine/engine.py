@@ -271,3 +271,61 @@ class SpreadEngine:
                 np.column_stack(visited_counts) if record_visited else None
             ),
         )
+
+    # ------------------------------------------------------------------
+    def run_sharded(
+        self,
+        state: np.ndarray,
+        seed,
+        *,
+        workers: int | None = None,
+        max_rounds: int | None = None,
+        track_hits: bool = False,
+        record_sizes: bool = False,
+        record_visited: bool = False,
+        budget_bytes: int | None = None,
+        max_shard: int | None = None,
+        mp_context: str | None = None,
+    ) -> SpreadResult:
+        """Advance the runs sharded across worker processes.
+
+        The multiprocess counterpart of :meth:`run`: ``state`` (one row
+        per run) is split into deterministic shards (sized by
+        :func:`repro.parallel.plan_shards` under a fixed per-shard
+        memory budget), each driven by a generator spawned from
+        ``seed``, and the shards execute across ``workers`` processes —
+        a static topology's CSR arrays travel through shared memory
+        (:meth:`repro.graphs.Graph.to_shared`), attached zero-copy per
+        worker.  Because the shard plan and the spawned seeds never
+        depend on the worker count, the merged :class:`SpreadResult` is
+        bit-for-bit identical for every ``workers`` value, including
+        the ``workers=1`` in-process fallback.  Note the contract
+        difference from :meth:`run`: randomness comes from a spawnable
+        ``seed``, not a shared ``Generator`` stream.
+
+        Recorded trajectories (``record_sizes`` / ``record_visited``)
+        are merged across shards on a common round axis with
+        terminal-value padding — the engine-level one-pass recorder the
+        analysis ensembles are built on.
+        """
+        from ..parallel import sharding
+
+        kwargs = {}
+        if budget_bytes is not None:
+            kwargs["budget_bytes"] = int(budget_bytes)
+        if max_shard is not None:
+            kwargs["max_shard"] = int(max_shard)
+        return sharding.run_sharded(
+            self.rule,
+            self.topology,
+            self.completion,
+            state,
+            seed,
+            workers=workers,
+            max_rounds=max_rounds,
+            track_hits=track_hits,
+            record_sizes=record_sizes,
+            record_visited=record_visited,
+            mp_context=mp_context,
+            **kwargs,
+        )

@@ -56,9 +56,14 @@ def run(config: ExperimentConfig) -> ExperimentResult:
 
     table = Table(title="mean rounds to inform all vertices")
     checks: list[Check] = []
+    # COBRA sampling always goes through the sharded engine (shared-
+    # memory CSR, per-shard spawned seeds): n_workers=1 is its serial
+    # fallback, so E9's tables are identical at every worker count.
     for label, g in graphs:
         gens = spawn_generators(config.seed + g.n, 6)
-        cobra = measure_cover(g, runs=cobra_runs, seed=config.seed + g.n)
+        cobra = measure_cover(
+            g, runs=cobra_runs, seed=config.seed + g.n, workers=config.n_workers
+        )
         rw = mean_ci(random_walk_cover_samples(g, runs=walk_runs, rng=gens[0]))
         k = max(2, math.ceil(math.log2(g.n)))
         kw = mean_ci(multi_walk_cover_samples(g, k, runs=walk_runs, rng=gens[1]))

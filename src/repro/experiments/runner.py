@@ -88,8 +88,14 @@ def measure_cover(
     branching=2,
     lazy: bool = False,
     max_rounds: int | None = None,
+    workers: int | None = None,
 ) -> CoverMeasurement:
-    """Sample COBRA cover times and summarise (the E-series workhorse)."""
+    """Sample COBRA cover times and summarise (the E-series workhorse).
+
+    ``workers`` (int >= 1) routes the sampling through the sharded
+    multiprocess engine path; ``None`` keeps the historical
+    single-stream serial path (and its exact samples).
+    """
     rng = generator_from(seed)
     samples = cover_time_samples(
         graph,
@@ -99,6 +105,7 @@ def measure_cover(
         lazy=lazy,
         rng=rng,
         max_rounds=max_rounds,
+        workers=workers,
     )
     return CoverMeasurement(
         graph_name=graph.name,

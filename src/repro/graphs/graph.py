@@ -22,7 +22,162 @@ from typing import Iterable, Iterator, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Graph"]
+__all__ = ["Graph", "SharedGraph"]
+
+
+def _attach_untracked(name: str):
+    """Attach to an existing shared-memory segment without re-tracking it.
+
+    Python 3.13 grew ``track=False`` for attach-only use.  On older
+    versions attaching re-registers the name with the resource tracker;
+    within one process tree (our pool workers share the parent's
+    tracker) that registration is an idempotent set-add, and the
+    creator's ``unlink()`` removes it exactly once — so no
+    counter-measure is needed, and explicitly unregistering here would
+    *delete the creator's registration* out from under it.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track kwarg
+        return shared_memory.SharedMemory(name=name)
+
+
+class SharedGraph:
+    """A picklable handle to a graph's CSR arrays in shared memory.
+
+    Created by :meth:`Graph.to_shared`, consumed by
+    :meth:`Graph.from_shared`.  The handle itself carries only the
+    segment name and the array geometry, so shipping it to a worker
+    process costs a few hundred bytes regardless of graph size; the
+    worker then maps the one existing copy of ``indptr`` / ``indices``
+    / ``degrees`` instead of re-pickling the topology per task.
+
+    Lifecycle (the POSIX shared-memory contract):
+
+    * every process that attached must :meth:`close` when done (worker
+      side; dropping the graph alone leaks the mapping until process
+      exit, which pool workers deliberately rely on);
+    * exactly one process — the creator — must additionally
+      :meth:`unlink` once all users are done, or the segment outlives
+      the program.  Using the handle as a context manager does both.
+    """
+
+    __slots__ = ("shm_name", "n", "m", "graph_name", "_shm", "_owner")
+
+    def __init__(
+        self, shm_name: str, n: int, m: int, graph_name: str
+    ) -> None:
+        self.shm_name = shm_name
+        self.n = int(n)
+        self.m = int(m)
+        self.graph_name = graph_name
+        self._shm = None
+        self._owner = False
+
+    # -- pickling: ship only the name + geometry ------------------------
+    def __getstate__(self):
+        return (self.shm_name, self.n, self.m, self.graph_name)
+
+    def __setstate__(self, state) -> None:
+        self.shm_name, self.n, self.m, self.graph_name = state
+        self._shm = None
+        self._owner = False
+
+    # -- attachment -----------------------------------------------------
+    def _segment(self):
+        """The underlying ``SharedMemory``, attaching on first use."""
+        if self._shm is None:
+            self._shm = _attach_untracked(self.shm_name)
+        return self._shm
+
+    def attach(self) -> "Graph":
+        """Map the segment and return the zero-copy :class:`Graph`."""
+        return Graph.from_shared(self)
+
+    # -- teardown -------------------------------------------------------
+    def close(self) -> None:
+        """Release this process's handle on the segment (idempotent).
+
+        If no zero-copy :class:`Graph` from this process still views
+        the mapping, the mapping is unmapped outright.  Otherwise the
+        mapping must outlive those views, so only the file descriptor
+        is closed: the attached graphs stay valid, and the memory is
+        returned when the last of them is garbage collected.
+        """
+        shm = self._shm
+        if shm is None:
+            return
+        self._shm = None
+        try:
+            shm.close()
+        except BufferError:
+            # Live views exported from the mapping: keep it alive for
+            # them, drop only the descriptor, and disarm the
+            # SharedMemory finalizer (a second close at GC time would
+            # raise the same BufferError as ignored-exception noise).
+            # The surgery touches CPython-private fields, so degrade to
+            # leak-until-process-exit if a future release reshapes them.
+            try:
+                shm._buf = None
+                shm._mmap = None
+                if shm._fd >= 0:
+                    import os
+
+                    os.close(shm._fd)
+                    shm._fd = -1
+            except (AttributeError, OSError):  # pragma: no cover
+                pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator-side; call exactly once).
+
+        Prefer unlinking *before* :meth:`close`: that goes through the
+        original tracked ``SharedMemory``, which also drops the
+        creator's resource-tracker registration on every Python
+        version.  After a ``close()`` the segment is destroyed through
+        an untracked re-attach, and the stale registration is removed
+        best-effort (Python 3.13's ``track=False`` unlink skips the
+        unregister that older versions do unconditionally).
+        """
+        shm = self._shm
+        if shm is not None:
+            shm.unlink()
+            return
+        shm = _attach_untracked(self.shm_name)
+        try:
+            shm.unlink()
+        finally:
+            shm.close()
+        if self._owner and getattr(shm, "_track", None) is False:
+            # 3.13+ untracked attach: unlink() skipped the unregister
+            # that pre-3.13 (tracked) attaches perform, so drop the
+            # creator's registration explicitly.
+            try:  # pragma: no cover - exercised on Python >= 3.13 only
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+
+    def __enter__(self) -> "SharedGraph":
+        """Context manager: yields the handle itself."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Close, and unlink if this process created the segment."""
+        try:
+            if self._owner:
+                self.unlink()
+        finally:
+            self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SharedGraph(shm_name={self.shm_name!r}, "
+            f"graph={self.graph_name!r}, n={self.n}, m={self.m})"
+        )
 
 
 class Graph:
@@ -263,6 +418,49 @@ class Graph:
             dist[nxt] = level
             frontier = nxt
         return dist
+
+    # ------------------------------------------------------------------
+    # Shared memory (zero-copy export to worker processes)
+    # ------------------------------------------------------------------
+    def to_shared(self) -> "SharedGraph":
+        """Export the CSR arrays into one shared-memory segment.
+
+        Returns a picklable :class:`SharedGraph` handle; workers call
+        :meth:`Graph.from_shared` (or ``handle.attach()``) to map the
+        same physical arrays instead of receiving a pickled copy per
+        task.  Layout: ``[indptr | indices | degrees]`` as one int64
+        block.  The caller owns the segment and must ``close()`` +
+        ``unlink()`` it (or use the handle as a context manager).
+        """
+        from multiprocessing import shared_memory
+
+        total = self.indptr.size + self.indices.size + self.degrees.size
+        shm = shared_memory.SharedMemory(create=True, size=total * 8)
+        flat = np.frombuffer(shm.buf, dtype=np.int64)
+        a, b = self.indptr.size, self.indptr.size + self.indices.size
+        flat[:a] = self.indptr
+        flat[a:b] = self.indices
+        flat[b:total] = self.degrees
+        handle = SharedGraph(shm.name, self.n, self.m, self.name)
+        handle._shm = shm
+        handle._owner = True
+        return handle
+
+    @classmethod
+    def from_shared(cls, handle: "SharedGraph") -> "Graph":
+        """Build a zero-copy :class:`Graph` over a shared segment.
+
+        The returned graph's CSR arrays are read-only views into the
+        mapping held by ``handle``; no topology bytes are copied.  The
+        views keep the mapping alive even after ``handle.close()``, but
+        the segment itself lives until its creator calls ``unlink()``.
+        """
+        flat = np.frombuffer(handle._segment().buf, dtype=np.int64)
+        n, m = handle.n, handle.m
+        a, b = n + 1, n + 1 + 2 * m
+        return cls._from_csr(
+            n, m, flat[:a], flat[a:b], flat[b : b + n], handle.graph_name
+        )
 
     # ------------------------------------------------------------------
     # Pickling (needed to ship graphs to worker processes)

@@ -14,6 +14,7 @@ preserves input order in its output.
 
 from __future__ import annotations
 
+import math
 import multiprocessing as mp
 import os
 from typing import Callable, Sequence, TypeVar
@@ -21,16 +22,54 @@ from typing import Callable, Sequence, TypeVar
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["parallel_map", "default_workers"]
+__all__ = ["parallel_map", "default_workers", "pool_chunk_size"]
+
+#: Environment variable overriding :func:`default_workers` (documented
+#: in the README).  Deployments set it once instead of threading a
+#: ``--workers`` flag through every entry point.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
 
 
 def default_workers() -> int:
-    """A conservative worker count: ``min(cpu_count, 8)``, at least 1."""
+    """The default worker count for every parallel entry point.
+
+    Honours the ``REPRO_WORKERS`` environment variable when set (any
+    integer >= 1); otherwise falls back to the conservative
+    ``min(cpu_count, 8)``, at least 1.
+    """
+    env = os.environ.get(WORKERS_ENV_VAR)
+    if env is not None and env.strip():
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV_VAR} must be an integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ValueError(f"{WORKERS_ENV_VAR} must be >= 1, got {value}")
+        return value
     try:
         cpus = len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         cpus = os.cpu_count() or 1
     return max(1, min(cpus, 8))
+
+
+def pool_chunk_size(n_items: int, workers: int) -> int:
+    """Default ``chunksize`` for ``Pool.map``: ~4 chunks per worker.
+
+    Uses ``ceil`` so the chunk count never *exceeds* ``4 * workers``:
+    the historical ``n_items // (workers * 4)`` rounded down, which for
+    task counts just above a multiple of ``4 * workers`` produced one
+    extra full-size chunk whose worker finished last while the rest of
+    the pool sat idle (and degenerated to chunks of 1 — pure IPC
+    overhead — for any ``n_items < 4 * workers``).
+    """
+    if n_items < 1:
+        raise ValueError("need at least one item")
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    return max(1, math.ceil(n_items / (workers * 4)))
 
 
 def parallel_map(
@@ -43,9 +82,9 @@ def parallel_map(
     """Apply ``fn`` to each item, optionally across worker processes.
 
     Preserves input order.  ``fn`` and every item must be picklable when
-    ``n_workers > 1``.  ``chunk_size`` defaults to a value that gives
-    each worker a handful of chunks (amortising IPC without starving the
-    pool).
+    ``n_workers > 1``.  ``chunk_size`` defaults to
+    :func:`pool_chunk_size`, which gives each worker a handful of
+    chunks (amortising IPC without starving the pool).
     """
     items = list(items)
     if not items:
@@ -55,7 +94,7 @@ def parallel_map(
         return [fn(item) for item in items]
     workers = min(workers, len(items))
     if chunk_size is None:
-        chunk_size = max(1, len(items) // (workers * 4))
+        chunk_size = pool_chunk_size(len(items), workers)
     ctx = mp.get_context("spawn" if os.name == "nt" else "fork")
     with ctx.Pool(processes=workers) as pool:
         return pool.map(fn, items, chunksize=chunk_size)

@@ -1,0 +1,353 @@
+"""Sharded engine execution: multiprocess fan-out over the R axis.
+
+One :class:`~repro.engine.SpreadEngine` invocation advances ``R``
+independent runs, but on one core.  This module splits the R axis into
+*shards* — contiguous run blocks sized by
+:func:`repro.parallel.plan_batches_for` under a fixed per-shard state
+budget — and executes the shards across worker processes:
+
+* **Topology ships once.**  A static graph's CSR arrays are exported
+  into POSIX shared memory (:meth:`repro.graphs.Graph.to_shared`), so
+  every worker maps the same physical ``indptr`` / ``indices`` /
+  ``degrees`` instead of unpickling a private copy per task; dynamic
+  sequences are constructed per shard (see
+  :func:`repro.dynamics.dynamic_cover_time_batch`) or shipped as the
+  small seeded objects they are and realised lazily in the worker.
+* **Randomness is per shard.**  Each shard's generator is spawned from
+  the caller's master seed via :mod:`repro.stats.rng`, and the shard
+  plan is a pure function of ``(rule, runs, n, budget, max_shard)`` —
+  never of the worker count — so the merged result is bit-for-bit
+  identical at any ``workers`` (``workers=1`` runs the same shards
+  serially in-process).
+
+The per-shard streams intentionally differ from the single-stream
+``run_batch`` path: sharded determinism is seed × shard-plan, not
+seed × interleaving.  ``tests/parallel/test_sharding.py`` pins the
+worker-count invariance and the serial shard-by-shard reference.
+
+Shard sizing uses a deliberately smaller default budget than the
+single-process batch planner (:data:`DEFAULT_SHARD_STATE_BUDGET_BYTES`
+per shard, at most :data:`DEFAULT_MAX_SHARD` runs): shards are the
+unit of load balancing, so there should be at least a few of them per
+worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..graphs.graph import Graph, SharedGraph
+from ..stats.rng import seed_sequence_from, spawn_seeds
+from .batch import plan_batches_for
+from .pool import default_workers
+
+__all__ = [
+    "ShardTask",
+    "plan_shards",
+    "run_shard",
+    "execute_shards",
+    "merge_shard_results",
+    "run_sharded",
+    "finished_times_or_raise",
+    "DEFAULT_SHARD_STATE_BUDGET_BYTES",
+    "DEFAULT_MAX_SHARD",
+]
+
+
+def finished_times_or_raise(finish_times: np.ndarray, what: str) -> np.ndarray:
+    """Return a copy of ``finish_times``, raising if any run hit the cap.
+
+    The shared tail of every sharded sampling wrapper: ``what`` names
+    the process/graph for the error message (e.g. ``"sharded COBRA on
+    hypercube-6"``).
+    """
+    capped = int((finish_times < 0).sum())
+    if capped:
+        raise RuntimeError(
+            f"{capped} of {finish_times.shape[0]} {what} runs hit the "
+            "round cap"
+        )
+    return finish_times.copy()
+
+#: Per-shard boolean-state budget (64 MiB).  Intentionally well below
+#: :data:`repro.parallel.batch.DEFAULT_STATE_BUDGET_BYTES`: a shard is
+#: both a memory unit *and* a load-balancing unit, and the plan must
+#: not depend on the worker count, so it is sized for "a few shards
+#: per worker" on any reasonable machine.
+DEFAULT_SHARD_STATE_BUDGET_BYTES = 64 * 1024 * 1024
+
+#: Hard cap on runs per shard (keeps several shards in flight even on
+#: small graphs, where the byte budget alone would allow one giant
+#: shard).
+DEFAULT_MAX_SHARD = 256
+
+# Worker-side cache of attached shared graphs, keyed by segment name.
+# Pool workers survive across tasks, so each worker maps a segment at
+# most once; the mapping is released when the worker exits (attaching
+# per task would leak one file descriptor each time instead).
+_ATTACHED_GRAPHS: dict[str, Graph] = {}
+
+
+def plan_shards(
+    rule,
+    total_runs: int,
+    n_vertices: int,
+    *,
+    budget_bytes: int = DEFAULT_SHARD_STATE_BUDGET_BYTES,
+    max_shard: int = DEFAULT_MAX_SHARD,
+) -> list[int]:
+    """Split ``total_runs`` into deterministic shard sizes.
+
+    Delegates to :func:`repro.parallel.plan_batches_for` (the rule's
+    declared per-run state footprint under ``budget_bytes``), capped at
+    ``max_shard`` runs per shard.  The result depends only on the
+    arguments — never on the machine or the worker count — which is
+    what makes sharded execution seed-stable.
+    """
+    return plan_batches_for(
+        rule,
+        total_runs,
+        n_vertices,
+        budget_bytes=budget_bytes,
+        max_batch=max_shard,
+    )
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard of an engine invocation, picklable for pool dispatch.
+
+    Attributes
+    ----------
+    rule:
+        The :class:`~repro.engine.rules.SpreadRule` (small, picklable).
+    topology:
+        Either a :class:`~repro.graphs.SharedGraph` handle (static
+        graphs: workers attach zero-copy) or any topology-source object
+        the engine accepts (graph sequences ship as their small seeded
+        selves and materialise snapshots lazily in the worker).
+    completion:
+        A :class:`~repro.engine.completion.CompletionCriterion`.
+    state:
+        The shard's rule-specific initial state (rows = this shard's
+        runs).
+    seed:
+        The shard's spawned :class:`numpy.random.SeedSequence`; the
+        worker builds its process stream from exactly this.
+    """
+
+    rule: object
+    topology: object
+    completion: object
+    state: np.ndarray
+    seed: np.random.SeedSequence
+    max_rounds: int | None = None
+    track_hits: bool = False
+    record_sizes: bool = False
+    record_visited: bool = False
+
+
+def run_shard(task: ShardTask):
+    """Execute one shard in the current process; returns a SpreadResult.
+
+    Module-level (and so picklable) on purpose: this is the pool worker
+    entry point, but the serial fallback calls it too, so both paths
+    run literally the same code.
+    """
+    from ..engine.engine import SpreadEngine
+
+    topology = task.topology
+    if isinstance(topology, SharedGraph):
+        graph = _ATTACHED_GRAPHS.get(topology.shm_name)
+        if graph is None:
+            graph = topology.attach()
+            # Release the handle immediately: the graph's zero-copy
+            # views keep the mapping alive for this process's lifetime,
+            # and a closed handle garbage-collects silently.
+            topology.close()
+            _ATTACHED_GRAPHS[topology.shm_name] = graph
+        topology = graph
+    engine = SpreadEngine(task.rule, topology, task.completion)
+    return engine.run(
+        task.state,
+        np.random.default_rng(task.seed),
+        max_rounds=task.max_rounds,
+        track_hits=task.track_hits,
+        record_sizes=task.record_sizes,
+        record_visited=task.record_visited,
+    )
+
+
+def _mp_context(spec: str | None = None):
+    """Pick a start method: ``fork`` where cheap and safe, else spawn."""
+    if spec is None:
+        spec = "fork" if os.name != "nt" else "spawn"
+    return mp.get_context(spec)
+
+
+def execute_shards(
+    tasks: Sequence[ShardTask],
+    workers: int | None = None,
+    *,
+    mp_context: str | None = None,
+) -> list:
+    """Run shard tasks, serially or across a process pool.
+
+    ``workers=None`` uses :func:`repro.parallel.default_workers`;
+    ``workers <= 1`` (or a single task) runs in-process.  Output order
+    matches input order, and because every task carries its own spawned
+    seed the results are identical either way.  ``chunksize`` is pinned
+    to 1: shards are few and heavy, so eager redistribution beats
+    amortised IPC.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    workers = default_workers() if workers is None else int(workers)
+    workers = min(workers, len(tasks))
+    if workers <= 1:
+        return [run_shard(task) for task in tasks]
+    ctx = _mp_context(mp_context)
+    with ctx.Pool(processes=workers) as pool:
+        return pool.map(run_shard, tasks, chunksize=1)
+
+
+def _pad_trajectories(parts: list[np.ndarray], width: int) -> np.ndarray:
+    """Stack per-shard ``(R_i, T_i + 1)`` series on a common round axis.
+
+    Shards stop recording when their last run completes, so a shard
+    shorter than ``width`` is continued with its final column — the
+    terminal-value convention of
+    :class:`repro.core.trajectories.TrajectoryEnsemble` (correct for
+    the monotone visited counts; for occupancy sizes it holds each
+    run's last recorded value).
+    """
+    padded = []
+    for part in parts:
+        if part.shape[1] < width:
+            tail = np.repeat(part[:, -1:], width - part.shape[1], axis=1)
+            part = np.concatenate([part, tail], axis=1)
+        padded.append(part)
+    return np.concatenate(padded, axis=0)
+
+
+def merge_shard_results(results: Sequence):
+    """Merge per-shard SpreadResults into one, in shard order.
+
+    ``finish_times`` / ``final_state`` / ``hit_times`` concatenate
+    along the run axis; ``rounds_run`` is the max over shards; recorded
+    trajectories are aligned with terminal-value padding (see
+    :func:`_pad_trajectories`).
+    """
+    from ..engine.engine import SpreadResult
+
+    results = list(results)
+    if not results:
+        raise ValueError("need at least one shard result")
+    if len(results) == 1:
+        return results[0]
+    width = max(r.rounds_run for r in results) + 1
+    return SpreadResult(
+        finish_times=np.concatenate([r.finish_times for r in results]),
+        rounds_run=max(r.rounds_run for r in results),
+        final_state=np.concatenate([r.final_state for r in results], axis=0),
+        hit_times=(
+            np.concatenate([r.hit_times for r in results], axis=0)
+            if results[0].hit_times is not None
+            else None
+        ),
+        sizes=(
+            _pad_trajectories([r.sizes for r in results], width)
+            if results[0].sizes is not None
+            else None
+        ),
+        visited_counts=(
+            _pad_trajectories([r.visited_counts for r in results], width)
+            if results[0].visited_counts is not None
+            else None
+        ),
+    )
+
+
+def run_sharded(
+    rule,
+    topology,
+    completion,
+    state: np.ndarray,
+    seed,
+    *,
+    workers: int | None = None,
+    max_rounds: int | None = None,
+    track_hits: bool = False,
+    record_sizes: bool = False,
+    record_visited: bool = False,
+    budget_bytes: int = DEFAULT_SHARD_STATE_BUDGET_BYTES,
+    max_shard: int = DEFAULT_MAX_SHARD,
+    mp_context: str | None = None,
+):
+    """Shard one engine invocation's R axis across worker processes.
+
+    ``state`` is the full rule-specific initial state (one row per
+    run); it is split into :func:`plan_shards` row blocks, each driven
+    by a generator spawned from ``seed`` (anything
+    :func:`repro.stats.rng.seed_sequence_from` accepts).  Static
+    topologies are exported to shared memory for the parallel case —
+    created, closed and unlinked here, so callers manage nothing.
+    Returns a merged :class:`~repro.engine.SpreadResult`; results are
+    identical for every ``workers`` value.
+
+    Bit-packed rules (flooding) fold all runs into shared byte planes,
+    so their state cannot be row-sharded; they are rejected.
+    """
+    from ..engine.engine import StaticTopology, as_topology
+
+    if getattr(rule, "runs_of", None) is not None:
+        raise ValueError(
+            f"{type(rule).__name__} packs multiple runs per state row and "
+            "cannot be sharded along the run axis; shard it manually by "
+            "constructing one rule per shard"
+        )
+    topo = as_topology(topology)
+    runs = state.shape[0]
+    shard_sizes = plan_shards(
+        rule, runs, topo.n, budget_bytes=budget_bytes, max_shard=max_shard
+    )
+    seeds = spawn_seeds(seed_sequence_from(seed), len(shard_sizes))
+    workers = default_workers() if workers is None else int(workers)
+    workers = min(workers, len(shard_sizes))
+
+    shared: SharedGraph | None = None
+    ship: object = topo
+    if workers > 1 and isinstance(topo, StaticTopology):
+        shared = topo.base.to_shared()
+        ship = shared
+    try:
+        bounds = np.concatenate([[0], np.cumsum(shard_sizes)])
+        tasks = [
+            ShardTask(
+                rule=rule,
+                topology=ship,
+                completion=completion,
+                state=state[lo:hi],
+                seed=s,
+                max_rounds=max_rounds,
+                track_hits=track_hits,
+                record_sizes=record_sizes,
+                record_visited=record_visited,
+            )
+            for lo, hi, s in zip(bounds[:-1], bounds[1:], seeds)
+        ]
+        results = execute_shards(tasks, workers, mp_context=mp_context)
+    finally:
+        if shared is not None:
+            # Unlink first: through the still-open creator handle it
+            # also drops the resource-tracker registration on every
+            # Python version (see SharedGraph.unlink).
+            shared.unlink()
+            shared.close()
+    return merge_shard_results(results)

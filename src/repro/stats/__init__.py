@@ -14,7 +14,12 @@ from .estimators import (
     whp_quantile,
 )
 from .regression import PowerLawFit, doubling_ratio, fit_polylog, fit_power_law
-from .rng import generator_from, spawn_generators, spawn_seeds
+from .rng import (
+    generator_from,
+    seed_sequence_from,
+    spawn_generators,
+    spawn_seeds,
+)
 from .survival import SurvivalCurve, empirical_survival, survival_distance
 
 __all__ = [
@@ -32,6 +37,7 @@ __all__ = [
     "fit_polylog",
     "fit_power_law",
     "generator_from",
+    "seed_sequence_from",
     "spawn_generators",
     "spawn_seeds",
     "SurvivalCurve",

@@ -11,7 +11,31 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["spawn_generators", "spawn_seeds", "generator_from"]
+__all__ = [
+    "spawn_generators",
+    "spawn_seeds",
+    "generator_from",
+    "seed_sequence_from",
+]
+
+
+def seed_sequence_from(
+    seed: np.random.Generator | np.random.SeedSequence | int | None,
+) -> np.random.SeedSequence:
+    """Coerce a seed-ish argument into a spawnable ``SeedSequence``.
+
+    The inverse convenience of :func:`generator_from`, used by the
+    sharded execution paths, which need a *spawnable* root rather than
+    a single stream.  A ``Generator`` argument cannot be split
+    losslessly, so its entropy is drawn from the stream itself (one
+    ``integers`` call — deterministic given the generator state, and
+    the generator advances exactly one draw).
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(int(seed.integers(2**63)))
+    return np.random.SeedSequence(seed)
 
 
 def generator_from(seed: np.random.Generator | np.random.SeedSequence | int | None) -> np.random.Generator:

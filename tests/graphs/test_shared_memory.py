@@ -1,0 +1,94 @@
+"""Shared-memory CSR export tests (``Graph.to_shared`` / ``from_shared``)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, SharedGraph, petersen_graph, random_regular_graph
+
+
+class TestRoundTrip:
+    def test_attach_reproduces_graph(self):
+        g = random_regular_graph(64, 4, rng=2)
+        with g.to_shared() as handle:
+            attached = Graph.from_shared(handle)
+            assert attached == g
+            assert attached.name == g.name
+            assert attached.m == g.m
+            assert np.array_equal(attached.degrees, g.degrees)
+
+    def test_zero_copy_views(self):
+        g = petersen_graph()
+        with g.to_shared() as handle:
+            attached = handle.attach()
+            # Views into the segment, not copies: read-only, not owners.
+            for arr in (attached.indptr, attached.indices, attached.degrees):
+                assert not arr.flags.writeable
+                assert not arr.flags.owndata
+
+    def test_handle_pickles_small_and_attaches(self):
+        g = random_regular_graph(256, 4, rng=3)
+        with g.to_shared() as handle:
+            payload = pickle.dumps(handle)
+            # The whole point: the handle ships without the CSR arrays.
+            assert len(payload) < 500
+            clone = pickle.loads(payload)
+            assert isinstance(clone, SharedGraph)
+            attached = clone.attach()
+            assert attached == g
+            clone.close()
+
+    def test_sampling_works_on_attached_graph(self):
+        g = random_regular_graph(32, 4, rng=4)
+        with g.to_shared() as handle:
+            attached = handle.attach()
+            rng = np.random.default_rng(0)
+            chosen = attached.sample_neighbors(np.arange(32), rng)
+            assert chosen.shape == (32,)
+            # Every choice is a genuine neighbour.
+            for v, c in enumerate(chosen):
+                assert attached.has_edge(v, int(c))
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_views_survive(self):
+        g = petersen_graph()
+        handle = g.to_shared()
+        attached = handle.attach()
+        handle.close()
+        handle.close()  # idempotent
+        # The zero-copy graph keeps the mapping alive past close().
+        assert int(attached.degrees.sum()) == 2 * g.m
+        handle.unlink()
+
+    def test_unlink_removes_segment(self):
+        from multiprocessing import shared_memory
+
+        handle = petersen_graph().to_shared()
+        name = handle.shm_name
+        handle.close()
+        handle.unlink()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_context_manager_owner_cleans_up(self):
+        from multiprocessing import shared_memory
+
+        with petersen_graph().to_shared() as handle:
+            name = handle.shm_name
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_attached_clone_does_not_unlink_on_exit(self):
+        # A pickled (non-owner) handle used as a context manager only
+        # closes; the creator still owns the segment.
+        g = petersen_graph()
+        owner = g.to_shared()
+        try:
+            with pickle.loads(pickle.dumps(owner)) as clone:
+                assert clone.attach() == g
+            assert Graph.from_shared(owner) == g  # still alive
+        finally:
+            owner.close()
+            owner.unlink()

@@ -73,3 +73,63 @@ class TestFailurePropagation:
 
         with pytest.raises(ValueError, match="injected"):
             parallel_map(_explode, [1, 2, 3, 4], n_workers=2)
+
+
+class TestPoolChunkSize:
+    def test_ceil_never_exceeds_four_chunks_per_worker(self):
+        from math import ceil
+
+        from repro.parallel import pool_chunk_size
+
+        for n_items in (1, 5, 6, 23, 33, 100, 1000):
+            for workers in (1, 2, 4, 8):
+                chunk = pool_chunk_size(n_items, workers)
+                assert chunk >= 1
+                n_chunks = ceil(n_items / chunk)
+                assert n_chunks <= workers * 4
+
+    def test_small_task_counts_not_floored_to_starvation(self):
+        from repro.parallel import pool_chunk_size
+
+        # Historical floor division: 33 items, 2 workers -> 33 // 8 = 4
+        # -> 9 chunks (one worker drags a 9th chunk alone).  Ceil gives
+        # 5 -> 7 chunks.
+        assert pool_chunk_size(33, 2) == 5
+        # Fewer items than 4 * workers: one item per chunk.
+        assert pool_chunk_size(6, 4) == 1
+
+    def test_validation(self):
+        import pytest
+
+        from repro.parallel import pool_chunk_size
+
+        with pytest.raises(ValueError):
+            pool_chunk_size(0, 2)
+        with pytest.raises(ValueError):
+            pool_chunk_size(2, 0)
+
+
+class TestWorkersEnvVar:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_env_override_allows_more_than_cap(self, monkeypatch):
+        # The min(cpus, 8) cap is the *fallback*; an explicit env value
+        # wins even above it.
+        monkeypatch.setenv("REPRO_WORKERS", "12")
+        assert default_workers() == 12
+
+    def test_env_invalid_raises(self, monkeypatch):
+        import pytest
+
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            default_workers()
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            default_workers()
+
+    def test_env_empty_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "")
+        assert 1 <= default_workers() <= 8

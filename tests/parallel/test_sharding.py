@@ -1,0 +1,188 @@
+"""Sharded engine execution tests.
+
+The contract under test: ``run_sharded`` output is bit-for-bit
+identical at any worker count (the shard plan and the spawned seeds
+never depend on ``workers``), and equals the serial shard-by-shard
+``engine.run`` reference under the same spawning discipline — for
+cover-type (COBRA), infection-type (BIPS) and position-state (walks)
+rules, on static and time-evolving topologies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.branching import make_policy
+from repro.dynamics import (
+    RewiringSequence,
+    dynamic_cover_time_batch,
+    dynamic_infection_time_batch,
+)
+from repro.engine import BipsRule, CobraRule, FloodingRule, SpreadEngine, WalkRule
+from repro.graphs import cycle_graph, random_regular_graph
+from repro.parallel import (
+    ShardTask,
+    execute_shards,
+    merge_shard_results,
+    plan_shards,
+    run_sharded,
+)
+from repro.stats import spawn_seeds
+
+RUNS = 40
+MAX_SHARD = 8  # force several shards even at tiny run counts
+
+
+def _graph():
+    return random_regular_graph(24, 4, rng=11)
+
+
+def _sequence(graph):
+    return RewiringSequence(graph, 2, seed=77)
+
+
+def _rules():
+    return {
+        "cobra": CobraRule(make_policy(2)),
+        "bips": BipsRule(make_policy(2), source=0),
+        "walk": WalkRule(k=2),
+    }
+
+
+def _initial_state(rule, n):
+    if isinstance(rule, WalkRule):
+        return np.zeros((RUNS, rule.k), dtype=np.int64)
+    state = np.zeros((RUNS, n), dtype=bool)
+    state[:, 0] = True
+    return state
+
+
+def _run(rule, topology, workers):
+    engine = SpreadEngine(rule, topology)
+    state = _initial_state(rule, topology.n)
+    return engine.run_sharded(
+        state, 123, workers=workers, track_hits=True, max_shard=MAX_SHARD
+    )
+
+
+class TestWorkerCountInvariance:
+    @pytest.mark.parametrize("name", ["cobra", "bips", "walk"])
+    @pytest.mark.parametrize("dynamic", [False, True], ids=["static", "dynamic"])
+    def test_identical_across_worker_counts(self, name, dynamic):
+        graph = _graph()
+        topology = _sequence(graph) if dynamic else graph
+        rule = _rules()[name]
+        reference = _run(rule, topology, workers=1)
+        for workers in (2, 4):
+            got = _run(rule, topology, workers=workers)
+            assert got.rounds_run == reference.rounds_run
+            assert np.array_equal(got.finish_times, reference.finish_times)
+            assert np.array_equal(got.hit_times, reference.hit_times)
+            assert np.array_equal(got.final_state, reference.final_state)
+
+    @pytest.mark.parametrize("name", ["cobra", "bips", "walk"])
+    def test_matches_serial_run_batch_reference(self, name):
+        # Shard-by-shard engine.run with the same spawned seeds is the
+        # definitional serial reference; run_sharded must equal it.
+        graph = _graph()
+        rule = _rules()[name]
+        engine = SpreadEngine(rule, graph)
+        state = _initial_state(rule, graph.n)
+        sharded = _run(rule, graph, workers=2)
+
+        sizes = plan_shards(rule, RUNS, graph.n, max_shard=MAX_SHARD)
+        seeds = spawn_seeds(np.random.SeedSequence(123), len(sizes))
+        times, lo = [], 0
+        for size, seed in zip(sizes, seeds):
+            res = engine.run(
+                state[lo : lo + size], np.random.default_rng(seed), track_hits=True
+            )
+            times.append(res.finish_times)
+            lo += size
+        assert np.array_equal(np.concatenate(times), sharded.finish_times)
+
+
+class TestTrajectoryMerging:
+    def test_recorded_series_identical_and_padded(self):
+        graph = _graph()
+        rule = CobraRule(make_policy(2))
+        engine = SpreadEngine(rule, graph)
+        state = np.zeros((RUNS, graph.n), dtype=bool)
+        state[:, 0] = True
+        serial = engine.run_sharded(
+            state, 5, workers=1, record_sizes=True, record_visited=True,
+            max_shard=MAX_SHARD,
+        )
+        parallel = engine.run_sharded(
+            state, 5, workers=3, record_sizes=True, record_visited=True,
+            max_shard=MAX_SHARD,
+        )
+        assert serial.sizes.shape == (RUNS, serial.rounds_run + 1)
+        assert np.array_equal(serial.sizes, parallel.sizes)
+        assert np.array_equal(serial.visited_counts, parallel.visited_counts)
+        # Terminal-value padding: every covered run's visited count ends
+        # at n and is monotone along the common axis.
+        assert np.all(serial.visited_counts[:, -1] == graph.n)
+        assert np.all(np.diff(serial.visited_counts, axis=1) >= 0)
+
+
+class TestDynamicSharding:
+    @pytest.mark.parametrize(
+        "sampler", [dynamic_cover_time_batch, dynamic_infection_time_batch]
+    )
+    def test_factory_samples_identical_across_worker_counts(self, sampler):
+        base = _graph()
+
+        def factory(topology_seed):
+            return RewiringSequence(base, 2, seed=topology_seed)
+
+        reference = sampler(factory, RUNS, seed=3, workers=1)
+        for workers in (2, 4):
+            assert np.array_equal(sampler(factory, RUNS, seed=3, workers=workers), reference)
+
+    def test_shared_sequence_instance_is_quenched(self):
+        # A concrete GraphSequence (not a factory) is shared by every
+        # shard: same realisation, still deterministic across counts.
+        seq = _sequence(_graph())
+        a = dynamic_cover_time_batch(seq, RUNS, seed=3, workers=1)
+        b = dynamic_cover_time_batch(seq, RUNS, seed=3, workers=2)
+        assert np.array_equal(a, b)
+
+
+class TestPlanAndErrors:
+    def test_plan_is_pure_and_covers_runs(self):
+        rule = CobraRule(make_policy(2))
+        plan = plan_shards(rule, 1000, 64, max_shard=128)
+        assert plan == plan_shards(rule, 1000, 64, max_shard=128)
+        assert sum(plan) == 1000
+        assert max(plan) <= 128
+
+    def test_bit_packed_rules_rejected(self):
+        graph = cycle_graph(9)
+        rule = FloodingRule(runs=8)
+        state = rule.pack(np.eye(8, 9, dtype=bool))
+        with pytest.raises(ValueError, match="sharded"):
+            run_sharded(rule, graph, "all-vertices", state, 1)
+
+    def test_execute_shards_empty(self):
+        assert execute_shards([], workers=4) == []
+
+    def test_merge_requires_results(self):
+        with pytest.raises(ValueError):
+            merge_shard_results([])
+
+    def test_single_task_serial_even_with_many_workers(self):
+        # min(workers, tasks) == 1 must not spin up a pool: verified by
+        # determinism (and implicitly by not forking for tiny jobs).
+        graph = cycle_graph(9)
+        rule = CobraRule(make_policy(2), lazy=True)
+        state = np.zeros((4, 9), dtype=bool)
+        state[:, 0] = True
+        task = ShardTask(
+            rule=rule,
+            topology=graph,
+            completion=SpreadEngine(rule, graph).completion,
+            state=state,
+            seed=np.random.SeedSequence(1),
+        )
+        (res,) = execute_shards([task], workers=8)
+        assert res.finish_times.shape == (4,)
