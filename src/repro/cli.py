@@ -6,9 +6,14 @@ Subcommands::
     repro run E1 [--scale quick] [--seed N]   # run one experiment
     repro run all [--scale smoke]             # run the whole suite
     repro graph-info hypercube-7              # structural + spectral summary
+    repro broker --port 7603                  # shard-queue broker
+    repro worker 127.0.0.1:7603               # worker attached to a broker
 
 Experiment output is the table(s) plus the pass/fail shape checks from
-DESIGN.md.
+DESIGN.md.  ``cover`` / ``trajectory`` / ``dynamics`` accept
+``--endpoint host:port`` to fan their runs out over a broker's worker
+fleet (results bit-identical to local execution; shard results are
+content-address cached under ``REPRO_CACHE_DIR``).
 """
 
 from __future__ import annotations
@@ -75,6 +80,13 @@ def build_parser() -> argparse.ArgumentParser:
         "CSR graph, per-shard spawned seeds; results identical at any "
         "worker count, default: single-stream serial path)",
     )
+    cover_p.add_argument(
+        "--endpoint",
+        default=None,
+        metavar="HOST:PORT",
+        help="run the shards on a 'repro broker' worker fleet instead of "
+        "local processes (results bit-identical; overrides --workers)",
+    )
 
     traj_p = sub.add_parser(
         "trajectory",
@@ -94,6 +106,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for the recorded engine pass "
         "(default: serial; the series are identical at any count)",
+    )
+    traj_p.add_argument(
+        "--endpoint",
+        default=None,
+        metavar="HOST:PORT",
+        help="run the recorded pass on a 'repro broker' worker fleet "
+        "(series identical to local execution)",
     )
 
     dyn_p = sub.add_parser(
@@ -150,6 +169,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the batched runner over this many worker processes, "
         "each shard realising its sequence locally from a spawned seed "
         "(ignored with --independent; results identical at any count)",
+    )
+    dyn_p.add_argument(
+        "--endpoint",
+        default=None,
+        metavar="HOST:PORT",
+        help="run the shards on a 'repro broker' worker fleet, each remote "
+        "worker re-realising its shard's sequence from the wire-encoded "
+        "seed (ignored with --independent)",
+    )
+
+    broker_p = sub.add_parser(
+        "broker",
+        help="serve the distributed shard queue (lease/heartbeat/requeue)",
+    )
+    broker_p.add_argument("--host", default="127.0.0.1")
+    broker_p.add_argument("--port", type=int, default=7603)
+    broker_p.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        help="seconds before an un-heartbeated shard lease is requeued",
+    )
+    broker_p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=5,
+        help="leases a shard may consume before its job is failed",
+    )
+
+    worker_p = sub.add_parser(
+        "worker", help="serve shards from a broker until it goes away"
+    )
+    worker_p.add_argument("endpoint", help="broker endpoint, host:port")
+    worker_p.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        help="exit after this many shards (default: run until the broker "
+        "closes the connection)",
+    )
+    worker_p.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="seconds between lease attempts while the queue is empty",
     )
     return parser
 
@@ -277,6 +341,7 @@ def _cmd_cover(args: argparse.Namespace) -> int:
         lazy=lazy,
         rng=rng,
         workers=args.workers,
+        endpoint=args.endpoint,
     )
     mean = mean_ci(samples)
     whp = whp_quantile(samples, rng=rng)
@@ -299,11 +364,21 @@ def _cmd_trajectory(args: argparse.Namespace) -> int:
     lazy = args.lazy or is_bipartite(g)
     if args.process == "bips":
         ensemble = bips_size_ensemble(
-            g, runs=args.runs, lazy=lazy, seed=args.seed, workers=args.workers
+            g,
+            runs=args.runs,
+            lazy=lazy,
+            seed=args.seed,
+            workers=args.workers,
+            endpoint=args.endpoint,
         )
     else:
         ensemble = cobra_coverage_ensemble(
-            g, runs=args.runs, lazy=lazy, seed=args.seed, workers=args.workers
+            g,
+            runs=args.runs,
+            lazy=lazy,
+            seed=args.seed,
+            workers=args.workers,
+            endpoint=args.endpoint,
         )
     print(render_ensemble(ensemble))
     return 0
@@ -396,6 +471,12 @@ def _cmd_dynamics(args: argparse.Namespace) -> int:
             f"sharded (R, n) engine, {args.workers} workers, "
             "shard-local realisations"
         )
+    if not args.independent and args.endpoint is not None:
+        extra["endpoint"] = args.endpoint
+        mode = (
+            f"distributed (R, n) engine via broker {args.endpoint}, "
+            "shard-local realisations"
+        )
     try:
         if args.process == "cobra":
             samples = sample_cover(
@@ -438,6 +519,46 @@ def _cmd_dynamics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_broker(args: argparse.Namespace) -> int:
+    from .distributed import Broker
+
+    broker = Broker(
+        args.host,
+        args.port,
+        lease_timeout=args.lease_timeout,
+        max_attempts=args.max_attempts,
+    )
+    try:
+        broker.run_forever(
+            ready=lambda b: print(
+                f"repro broker listening on {b.address} "
+                f"(lease timeout {b.ledger.lease_timeout:g}s, "
+                f"max attempts {b.ledger.max_attempts})"
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .distributed import DistributedError
+    from .distributed.worker import run_worker
+
+    print(f"repro worker attaching to {args.endpoint}")
+    try:
+        completed = run_worker(
+            args.endpoint, max_tasks=args.max_tasks, poll_interval=args.poll
+        )
+    except KeyboardInterrupt:
+        return 0
+    except (OSError, DistributedError) as exc:
+        print(f"worker cannot serve {args.endpoint}: {exc}", file=sys.stderr)
+        return 1
+    print(f"worker exiting after {completed} shard(s)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -455,6 +576,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trajectory(args)
     if args.command == "dynamics":
         return _cmd_dynamics(args)
+    if args.command == "broker":
+        return _cmd_broker(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     raise SystemExit(2)  # pragma: no cover - argparse enforces commands
 
 

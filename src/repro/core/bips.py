@@ -269,19 +269,20 @@ def infection_time_samples(
     max_rounds: int | None = None,
     batch_size: int = 256,
     workers: int | None = None,
+    endpoint: str | None = None,
 ) -> np.ndarray:
     """Sample ``infec(source)`` ``runs`` times via the batch engine.
 
     Batches are planned by :func:`repro.parallel.plan_batches_for`
     under the BIPS rule's declared state footprint, capped at
     ``batch_size`` runs each.  ``workers`` switches to the sharded
-    multiprocess path, exactly as in
-    :func:`repro.core.cobra.cover_time_samples`.
+    multiprocess path and ``endpoint`` to a broker's worker fleet,
+    exactly as in :func:`repro.core.cobra.cover_time_samples`.
     """
     proc = BipsProcess(graph, source, branching, lazy=lazy)
     if runs <= 0:
         return np.empty(0, dtype=np.int64)
-    if workers is not None:
+    if workers is not None or endpoint is not None:
         from ..parallel.sharding import finished_times_or_raise
 
         state = np.zeros((int(runs), graph.n), dtype=bool)
@@ -289,9 +290,10 @@ def infection_time_samples(
         res = proc._engine_batch.run_sharded(
             state,
             rng,
-            workers=int(workers),
+            workers=None if workers is None else int(workers),
             max_rounds=max_rounds,
             max_shard=batch_size,
+            endpoint=endpoint,
         )
         return finished_times_or_raise(
             res.finish_times, f"sharded BIPS on {graph.name}"

@@ -97,20 +97,26 @@ def bips_size_ensemble(
     lazy: bool = False,
     seed=0,
     workers: int | None = None,
+    endpoint: str | None = None,
 ) -> TrajectoryEnsemble:
     """Ensemble of BIPS infection-size series ``|A_t|``.
 
     One recorded pass of the batched engine; a finished run's row
     continues at ``n``, the engine's freeze value.  ``workers`` fans
     the pass out over processes (``None`` = serial, like the sampling
-    wrappers; the series are identical at any count).  Raises if any
+    wrappers; the series are identical at any count), ``endpoint``
+    over a :mod:`repro.distributed` broker's workers.  Raises if any
     run hits the round cap.
     """
     proc = BipsProcess(graph, source, branching, lazy=lazy)
     state = np.zeros((int(runs), graph.n), dtype=bool)
     state[:, proc.source] = True
     res = proc._engine_batch.run_sharded(
-        state, seed, workers=1 if workers is None else workers, record_sizes=True
+        state,
+        seed,
+        workers=1 if workers is None else workers,
+        record_sizes=True,
+        endpoint=endpoint,
     )
     if not res.all_finished:
         raise RuntimeError(f"BIPS hit the round cap on {graph.name}")
@@ -129,19 +135,24 @@ def cobra_coverage_ensemble(
     lazy: bool = False,
     seed=0,
     workers: int | None = None,
+    endpoint: str | None = None,
 ) -> TrajectoryEnsemble:
     """Ensemble of COBRA cumulative-coverage series ``|∪_{s<=t} C_s|``.
 
     One recorded pass of the batched engine; the visited count is
     monotone, so terminal-value continuation at ``n`` is exact.
-    ``workers`` as in :func:`bips_size_ensemble`.  Raises if any run
-    hits the round cap.
+    ``workers`` / ``endpoint`` as in :func:`bips_size_ensemble`.
+    Raises if any run hits the round cap.
     """
     proc = CobraProcess(graph, branching, lazy=lazy)
     state = np.zeros((int(runs), graph.n), dtype=bool)
     state[:, check_vertex(graph, int(start))] = True
     res = proc._engine.run_sharded(
-        state, seed, workers=1 if workers is None else workers, record_visited=True
+        state,
+        seed,
+        workers=1 if workers is None else workers,
+        record_visited=True,
+        endpoint=endpoint,
     )
     if not res.all_finished:
         raise RuntimeError(f"COBRA hit the round cap on {graph.name}")

@@ -1,0 +1,70 @@
+"""repro.distributed — broker/worker shard queue for multi-host execution.
+
+PR 3's sharded execution fans an engine invocation's R axis over
+worker *processes* on one host; this package extends the same shard
+task unit (rule + topology + spawned seed — see
+:class:`repro.parallel.ShardTask`) across machine boundaries:
+
+* :mod:`~repro.distributed.wire` — a versioned, canonical JSON
+  encoding of shard tasks and results (replacing the pickle-only pool
+  path), plus the framed TCP protocol;
+* :mod:`~repro.distributed.broker` — an asyncio queue holding the
+  shard ledger (pending/leased/done), with lease timeouts, heartbeat
+  renewal and requeue-on-dead-worker;
+* :mod:`~repro.distributed.worker` — the lease/execute/stream-back
+  loop around :func:`repro.parallel.run_shard`;
+* :mod:`~repro.distributed.client` — job submission and collection,
+  mirroring :func:`repro.parallel.execute_shards`;
+* :mod:`~repro.distributed.cache` — a content-addressed result store
+  keyed by the canonical task encoding.
+
+Determinism contract: the shard plan and per-shard spawned seeds are
+computed before any transport is involved, so
+:func:`run_distributed` (also surfaced as
+:meth:`repro.engine.SpreadEngine.run_distributed` and the CLI's
+``--endpoint``) returns results bit-for-bit identical to
+:meth:`repro.engine.SpreadEngine.run_sharded` at any worker count,
+arrival order, or mid-run worker death.
+"""
+
+from .broker import Broker, ShardLedger, ShardRecord
+from .cache import CACHE_ENV_VAR, ResultCache, resolve_cache
+from .client import (
+    DistributedError,
+    broker_status,
+    execute_shards_remote,
+    run_distributed,
+)
+from .wire import (
+    WIRE_VERSION,
+    canonical_bytes,
+    decode_result,
+    decode_task,
+    encode_result,
+    encode_task,
+    parse_endpoint,
+    task_key,
+)
+from .worker import run_worker
+
+__all__ = [
+    "Broker",
+    "ShardLedger",
+    "ShardRecord",
+    "CACHE_ENV_VAR",
+    "ResultCache",
+    "resolve_cache",
+    "DistributedError",
+    "broker_status",
+    "execute_shards_remote",
+    "run_distributed",
+    "run_worker",
+    "WIRE_VERSION",
+    "canonical_bytes",
+    "decode_result",
+    "decode_task",
+    "encode_result",
+    "encode_task",
+    "parse_endpoint",
+    "task_key",
+]

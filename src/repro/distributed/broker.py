@@ -1,0 +1,574 @@
+"""The shard-queue broker: fault-tolerant scheduling over TCP.
+
+Two layers:
+
+* :class:`ShardLedger` — a pure in-memory state machine over shard
+  records (states ``pending → leased → done``, plus ``failed``).
+  Workers *lease* shards in completion order (a worker asks for the
+  next shard whenever it finishes one — the queue-level form of the
+  ROADMAP's "dynamic shard stealing"); a lease carries a deadline that
+  heartbeats renew; an expired lease, a worker disconnect, or a
+  reported worker error *requeues* the shard, so a killed worker never
+  loses work.  A shard that keeps failing is capped at
+  ``max_attempts`` leases, after which its job is declared failed
+  rather than looping forever.  The ledger takes explicit ``now``
+  timestamps, so every transition is unit-testable without a clock.
+
+* :class:`Broker` — a small asyncio TCP server speaking the framed
+  JSON protocol of :mod:`repro.distributed.wire`.  Clients ``submit``
+  a job (a list of encoded shard tasks keyed by shard index) and
+  ``wait`` for it; workers ``lease`` / ``heartbeat`` / ``complete`` /
+  ``error``.  Shard payloads pass through the broker opaquely — it
+  never decodes a task, so its memory and CPU footprint is queue-sized,
+  not simulation-sized.
+
+Determinism: the broker controls only *where and when* shards run,
+never *what they compute* — every task carries its own spawned seed —
+so any interleaving of workers, requeues and retries merges into the
+same bit-for-bit result (``repro.parallel.merge_shard_results`` keyed
+by shard index).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from .wire import read_frame, write_frame
+
+__all__ = ["ShardLedger", "ShardRecord", "Broker"]
+
+#: Shard states.
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class ShardRecord:
+    """One shard's ledger entry (payloads are opaque encoded tasks)."""
+
+    shard_id: str
+    job_id: str
+    index: int
+    payload: dict = field(repr=False)
+    state: str = PENDING
+    attempts: int = 0
+    worker: str | None = None
+    deadline: float | None = None
+    result: dict | None = field(default=None, repr=False)
+    error: str | None = None
+
+
+class ShardLedger:
+    """Pending/leased/done bookkeeping with lease timeouts and requeue.
+
+    Parameters
+    ----------
+    lease_timeout:
+        Seconds a lease stays valid without a heartbeat renewal.
+    max_attempts:
+        Total leases a shard may consume before its job is declared
+        failed (each lease is one attempt; requeues do not reset it).
+    """
+
+    def __init__(
+        self, *, lease_timeout: float = 30.0, max_attempts: int = 5
+    ) -> None:
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.lease_timeout = float(lease_timeout)
+        self.max_attempts = int(max_attempts)
+        self._shards: dict[str, ShardRecord] = {}
+        self._queue: deque[str] = deque()
+        self._jobs: dict[str, list[str]] = {}
+        self._job_errors: dict[str, str] = {}
+
+    # -- submission -----------------------------------------------------
+    def submit(self, job_id: str, tasks: list[tuple[int, dict]]) -> None:
+        """Register a job's shards (``(index, payload)`` pairs), FIFO.
+
+        Atomic: the whole task list is validated before any state
+        mutates, so a rejected submission (duplicate job or duplicate
+        index) leaves no orphan shards behind and the job id stays
+        reusable.
+        """
+        if job_id in self._jobs:
+            raise ValueError(f"job {job_id!r} already submitted")
+        indices = [int(index) for index, _ in tasks]
+        if len(set(indices)) != len(indices):
+            raise ValueError(f"duplicate shard index in {job_id!r}")
+        ids: list[str] = []
+        for index, (_, payload) in zip(indices, tasks):
+            shard_id = f"{job_id}:{index}"
+            self._shards[shard_id] = ShardRecord(
+                shard_id=shard_id, job_id=job_id, index=index, payload=payload
+            )
+            self._queue.append(shard_id)
+            ids.append(shard_id)
+        self._jobs[job_id] = ids
+
+    # -- worker side ----------------------------------------------------
+    def lease(self, worker_id: str, now: float) -> ShardRecord | None:
+        """Hand the next pending shard to ``worker_id`` (None if idle).
+
+        Completion-order dispatch: whichever worker asks next gets the
+        next shard, so fast workers naturally absorb the heavy tail.
+        Shards of already-failed jobs are skipped.
+        """
+        while self._queue:
+            shard_id = self._queue.popleft()
+            record = self._shards.get(shard_id)
+            if record is None or record.state != PENDING:
+                continue
+            if record.job_id in self._job_errors:
+                continue
+            record.state = LEASED
+            record.worker = worker_id
+            record.attempts += 1
+            record.deadline = now + self.lease_timeout
+            return record
+        return None
+
+    def renew(self, shard_id: str, worker_id: str, now: float) -> bool:
+        """Heartbeat: push the lease deadline out; False if not leased so."""
+        record = self._shards.get(shard_id)
+        if record is None or record.state != LEASED or record.worker != worker_id:
+            return False
+        record.deadline = now + self.lease_timeout
+        return True
+
+    def complete(self, shard_id: str, result: dict) -> str | None:
+        """Record a shard result; returns the job id (None if unknown).
+
+        First result wins; a late duplicate (a worker finishing after
+        its lease expired and the shard was recomputed elsewhere) is
+        ignored — both copies are bit-identical by the per-shard seed
+        contract, so either is correct.
+        """
+        record = self._shards.get(shard_id)
+        if record is None:
+            return None
+        if record.state != DONE:
+            record.state = DONE
+            record.result = result
+            record.worker = None
+            record.deadline = None
+        return record.job_id
+
+    def fail(self, shard_id: str, worker_id: str, message: str) -> str | None:
+        """A worker reported an execution error: requeue or give up.
+
+        Like :meth:`renew`, the report only counts if ``worker_id``
+        still holds the lease — a stale error from a worker whose
+        lease already expired (the shard is pending again or leased to
+        a healthy worker) must not requeue someone else's work or burn
+        extra attempts.
+        """
+        record = self._shards.get(shard_id)
+        if record is None:
+            return None
+        if record.state != LEASED or record.worker != worker_id:
+            return record.job_id
+        self._requeue(record, message)
+        return record.job_id
+
+    def _requeue(self, record: ShardRecord, reason: str) -> None:
+        if record.attempts >= self.max_attempts:
+            record.state = FAILED
+            record.error = reason
+            record.worker = None
+            record.deadline = None
+            self._job_errors.setdefault(
+                record.job_id,
+                f"shard {record.shard_id} failed after {record.attempts} "
+                f"attempts: {reason}",
+            )
+        else:
+            record.state = PENDING
+            record.worker = None
+            record.deadline = None
+            self._queue.append(record.shard_id)
+
+    def expire(self, now: float) -> list[str]:
+        """Requeue every lease whose deadline passed; returns job ids."""
+        affected = []
+        for record in self._shards.values():
+            if (
+                record.state == LEASED
+                and record.deadline is not None
+                and record.deadline < now
+            ):
+                worker = record.worker
+                self._requeue(record, f"lease expired on worker {worker!r}")
+                affected.append(record.job_id)
+        return affected
+
+    def release_worker(self, worker_id: str) -> list[str]:
+        """Requeue everything leased by a disconnected worker."""
+        affected = []
+        for record in self._shards.values():
+            if record.state == LEASED and record.worker == worker_id:
+                self._requeue(record, f"worker {worker_id!r} disconnected")
+                affected.append(record.job_id)
+        return affected
+
+    # -- client side ----------------------------------------------------
+    def job_state(self, job_id: str) -> tuple[str, str | None]:
+        """Return ``("running"|"done"|"failed"|"unknown", error)``."""
+        error = self._job_errors.get(job_id)
+        if error is not None:
+            return "failed", error
+        shard_ids = self._jobs.get(job_id)
+        if shard_ids is None:
+            return "unknown", None
+        if all(self._shards[s].state == DONE for s in shard_ids):
+            return "done", None
+        return "running", None
+
+    def job_results(self, job_id: str) -> list[tuple[int, dict]]:
+        """All ``(index, result)`` pairs of a finished job, index order."""
+        shard_ids = self._jobs.get(job_id, [])
+        records = sorted(
+            (self._shards[s] for s in shard_ids), key=lambda r: r.index
+        )
+        return [(r.index, r.result) for r in records]
+
+    def drop_job(self, job_id: str) -> None:
+        """Forget a job and its shards (after the client collected them)."""
+        for shard_id in self._jobs.pop(job_id, []):
+            self._shards.pop(shard_id, None)
+        self._job_errors.pop(job_id, None)
+
+    def counts(self) -> dict:
+        """Queue statistics: shards per state plus the live job count."""
+        tally = {PENDING: 0, LEASED: 0, DONE: 0, FAILED: 0}
+        for record in self._shards.values():
+            tally[record.state] += 1
+        tally["jobs"] = len(self._jobs)
+        return tally
+
+
+class Broker:
+    """Asyncio TCP broker serving the shard queue on ``host:port``.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`port` / :attr:`address` after start — the test and benchmark
+    pattern).  Use :meth:`run_forever` from a CLI process, or
+    :meth:`start_in_thread` / :meth:`shutdown` (also available as a
+    context manager) to host the broker inside another program.
+
+    A job whose client never collects it (disconnected, timed out,
+    crashed) is reaped ``job_ttl`` seconds after reaching its final
+    state, so an abandoned sweep cannot pin its shard payloads and
+    results in broker memory forever.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        lease_timeout: float = 30.0,
+        max_attempts: int = 5,
+        sweep_interval: float | None = None,
+        job_ttl: float = 3600.0,
+    ) -> None:
+        self.host = host
+        self.port = int(port) or None
+        self.ledger = ShardLedger(
+            lease_timeout=lease_timeout, max_attempts=max_attempts
+        )
+        self.sweep_interval = (
+            float(sweep_interval)
+            if sweep_interval is not None
+            else max(0.05, float(lease_timeout) / 4.0)
+        )
+        self.job_ttl = float(job_ttl)
+        self._requested_port = int(port)
+        self._server: asyncio.base_events.Server | None = None
+        self._sweeper: asyncio.Task | None = None
+        self._events: dict[str, asyncio.Event] = {}
+        self._finished_at: dict[str, float] = {}
+        self._handlers: set[asyncio.Task] = set()
+        self._connections = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def address(self) -> str:
+        """The ``host:port`` endpoint string clients and workers dial."""
+        return f"{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the lease sweeper."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._sweeper = asyncio.get_running_loop().create_task(self._sweep_loop())
+
+    async def stop(self) -> None:
+        """Close the server and cancel this broker's handler tasks.
+
+        Only the broker's own connection handlers are cancelled — a
+        host application embedding the broker in its event loop keeps
+        its unrelated tasks running.
+        """
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._sweeper
+            self._sweeper = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        handlers = [t for t in self._handlers if not t.done()]
+        for task in handlers:
+            task.cancel()
+        await asyncio.gather(*handlers, return_exceptions=True)
+        self._handlers.clear()
+
+    def run_forever(self, ready=None) -> None:
+        """Serve until interrupted (the ``repro broker`` CLI entry).
+
+        ``ready``, if given, is called with the broker once the socket
+        is bound (used to print the actual port).
+        """
+
+        async def _serve() -> None:
+            await self.start()
+            if ready is not None:
+                ready(self)
+            try:
+                await asyncio.Event().wait()
+            finally:
+                await self.stop()
+
+        asyncio.run(_serve())
+
+    def start_in_thread(self) -> "Broker":
+        """Run the broker's event loop in a daemon thread; returns self.
+
+        Blocks until the socket is bound, so :attr:`address` is valid
+        on return.  Pair with :meth:`shutdown` (or use the broker as a
+        context manager).
+        """
+        if self._thread is not None:
+            raise RuntimeError("broker already running in a thread")
+        ready = threading.Event()
+        failures: list[BaseException] = []
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(self.start())
+            except BaseException as exc:  # surface bind errors to the caller
+                failures.append(exc)
+                ready.set()
+                loop.close()
+                return
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.stop())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-broker", daemon=True
+        )
+        self._thread.start()
+        ready.wait()
+        if failures:
+            self._thread.join()
+            self._thread = None
+            raise failures[0]
+        return self
+
+    def shutdown(self) -> None:
+        """Stop a :meth:`start_in_thread` broker and join its thread."""
+        if self._thread is None:
+            return
+        assert self._loop is not None
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._thread = None
+        self._loop = None
+
+    def __enter__(self) -> "Broker":
+        """Context manager: start in a background thread."""
+        return self.start_in_thread()
+
+    def __exit__(self, *exc) -> None:
+        """Context manager: shut the background thread down."""
+        self.shutdown()
+
+    # -- protocol -------------------------------------------------------
+    def _notify(self, job_id: str | None) -> None:
+        """Wake the job's waiter if the job just reached a final state."""
+        if job_id is None:
+            return
+        event = self._events.get(job_id)
+        if event is None:
+            return
+        state, _ = self.ledger.job_state(job_id)
+        if state in ("done", "failed"):
+            event.set()
+            self._finished_at.setdefault(job_id, time.monotonic())
+
+    def _drop_job(self, job_id: str) -> None:
+        self.ledger.drop_job(job_id)
+        self._events.pop(job_id, None)
+        self._finished_at.pop(job_id, None)
+
+    async def _sweep_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.sweep_interval)
+            now = time.monotonic()
+            for job_id in self.ledger.expire(now):
+                self._notify(job_id)
+            # Reap finished jobs whose client never collected them
+            # (disconnected, timed out, crashed): without this, the
+            # abandoned shard payloads and results would pin broker
+            # memory forever.
+            for job_id, finished in list(self._finished_at.items()):
+                if now - finished > self.job_ttl:
+                    self._drop_job(job_id)
+
+    async def _handle_wait(self, writer: asyncio.StreamWriter, job_id: str) -> None:
+        event = self._events.get(job_id)
+        if event is None:
+            await write_frame(
+                writer, {"type": "failed", "error": f"unknown job {job_id!r}"}
+            )
+            return
+        await event.wait()
+        state, error = self.ledger.job_state(job_id)
+        if state == "failed":
+            await write_frame(writer, {"type": "failed", "error": error})
+        else:
+            results = self.ledger.job_results(job_id)
+            await write_frame(
+                writer,
+                {
+                    "type": "done",
+                    "results": [
+                        {"index": index, "result": result}
+                        for index, result in results
+                    ],
+                },
+            )
+        self._drop_job(job_id)
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        self._connections += 1
+        worker_id = f"conn-{self._connections}"
+        try:
+            while True:
+                message = await read_frame(reader)
+                if message is None:
+                    break
+                kind = message.get("type")
+                if kind == "lease":
+                    record = self.ledger.lease(worker_id, time.monotonic())
+                    if record is None:
+                        await write_frame(writer, {"type": "idle"})
+                    else:
+                        await write_frame(
+                            writer,
+                            {
+                                "type": "task",
+                                "shard_id": record.shard_id,
+                                "task": record.payload,
+                                "lease_timeout": self.ledger.lease_timeout,
+                            },
+                        )
+                elif kind == "heartbeat":
+                    self.ledger.renew(
+                        message.get("shard_id", ""), worker_id, time.monotonic()
+                    )
+                elif kind == "complete":
+                    job_id = self.ledger.complete(
+                        message["shard_id"], message["result"]
+                    )
+                    await write_frame(writer, {"type": "ok"})
+                    self._notify(job_id)
+                elif kind == "error":
+                    job_id = self.ledger.fail(
+                        message["shard_id"],
+                        worker_id,
+                        message.get("message", "worker error"),
+                    )
+                    await write_frame(writer, {"type": "ok"})
+                    self._notify(job_id)
+                elif kind == "submit":
+                    job_id = message["job_id"]
+                    try:
+                        self.ledger.submit(
+                            job_id,
+                            [
+                                (int(item["index"]), item["task"])
+                                for item in message["tasks"]
+                            ],
+                        )
+                    except (ValueError, KeyError, TypeError) as exc:
+                        await write_frame(
+                            writer, {"type": "failed", "error": str(exc)}
+                        )
+                        continue
+                    self._events[job_id] = asyncio.Event()
+                    await write_frame(
+                        writer,
+                        {"type": "accepted", "count": len(message["tasks"])},
+                    )
+                    self._notify(job_id)  # an empty job is already done
+                elif kind == "wait":
+                    await self._handle_wait(writer, message["job_id"])
+                elif kind == "status":
+                    await write_frame(
+                        writer, {"type": "status", **self.ledger.counts()}
+                    )
+                else:
+                    await write_frame(
+                        writer,
+                        {
+                            "type": "failed",
+                            "error": f"unknown message type {kind!r}",
+                        },
+                    )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except (ValueError, KeyError, TypeError) as exc:
+            # A malformed frame (port scanner, bogus length prefix,
+            # non-JSON payload, missing field): answer if the stream
+            # still works, then drop the connection — after a framing
+            # error the byte stream is unsynchronised, and the broker
+            # itself must survive any garbage a TCP listener attracts.
+            with contextlib.suppress(Exception):
+                await write_frame(
+                    writer, {"type": "failed", "error": f"malformed message: {exc}"}
+                )
+        finally:
+            for job_id in self.ledger.release_worker(worker_id):
+                self._notify(job_id)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()

@@ -1,0 +1,125 @@
+"""Content-addressed result cache for distributed shard execution.
+
+Every shard task is a pure function: its canonical wire encoding
+(:func:`repro.distributed.wire.task_key` — rule, topology, completion,
+state, seed, round cap, recording flags, wire version) fully
+determines its :class:`~repro.engine.SpreadResult`.  That makes
+caching unconditionally safe — there is no invalidation problem, only
+a content address — so repeated experiment sweeps and repeated CLI
+invocations skip shards that any earlier run already computed.
+
+Layout: ``<root>/<key[:2]>/<key>.json``, each file the canonical JSON
+encoding of one result, written atomically (temp file + ``os.replace``)
+so concurrent clients never observe torn entries.  The default root is
+``~/.cache/repro/results``, overridable through the
+``REPRO_CACHE_DIR`` environment variable (set it to ``off``, ``0`` or
+the empty string to disable caching entirely).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+from .wire import canonical_bytes, decode_result, encode_result
+
+__all__ = ["ResultCache", "resolve_cache", "CACHE_ENV_VAR"]
+
+#: Environment variable naming the cache root (or disabling the cache).
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+class ResultCache:
+    """A directory of shard results keyed by canonical task digest."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def default_root() -> Path | None:
+        """The configured cache root, or None when caching is disabled.
+
+        Reads :data:`CACHE_ENV_VAR`; unset falls back to
+        ``~/.cache/repro/results``, while ``""``, ``"0"`` and ``"off"``
+        disable caching.
+        """
+        env = os.environ.get(CACHE_ENV_VAR)
+        if env is None:
+            return Path.home() / ".cache" / "repro" / "results"
+        if env.strip().lower() in ("", "0", "off"):
+            return None
+        return Path(env)
+
+    @classmethod
+    def default(cls) -> "ResultCache | None":
+        """A cache at :meth:`default_root` (None when disabled)."""
+        root = cls.default_root()
+        return None if root is None else cls(root)
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """The file a result with content address ``key`` lives at."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str):
+        """Return the cached :class:`SpreadResult` for ``key``, or None.
+
+        Unreadable or torn entries count as misses (and are left for a
+        later ``put`` to overwrite) rather than failing the caller.
+        """
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+            result = decode_result(payload)
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result) -> Path:
+        """Store a result (a SpreadResult or its encoded dict) under ``key``.
+
+        Atomic: the entry is written to a unique temp file and renamed
+        into place, so concurrent writers race harmlessly (all copies
+        are byte-identical by the determinism contract).
+        """
+        obj = result if isinstance(result, dict) else encode_result(result)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{key}.{os.getpid()}.{threading.get_ident()}.tmp"
+        tmp.write_bytes(canonical_bytes(obj))
+        os.replace(tmp, path)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        """True iff an entry for ``key`` exists on disk."""
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        """Number of entries currently stored."""
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultCache(root={str(self.root)!r})"
+
+
+def resolve_cache(spec) -> ResultCache | None:
+    """Coerce a cache spec into a :class:`ResultCache` (or None).
+
+    ``None`` disables caching; ``"auto"`` uses :meth:`ResultCache.default`
+    (honouring :data:`CACHE_ENV_VAR`); a path builds a cache there; an
+    existing :class:`ResultCache` passes through.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, ResultCache):
+        return spec
+    if spec == "auto":
+        return ResultCache.default()
+    return ResultCache(spec)

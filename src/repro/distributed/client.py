@@ -1,0 +1,204 @@
+"""Client side of the shard queue: submit, wait, merge, cache.
+
+:func:`execute_shards_remote` is the distributed mirror of
+:func:`repro.parallel.execute_shards` — same input (a list of
+:class:`~repro.parallel.ShardTask`), same output (per-task results in
+input order) — so :func:`repro.parallel.run_sharded` can swap one for
+the other and keep its planning, seeding and merging untouched.  That
+is the determinism argument in one line: the shard plan and the
+spawned seeds are computed *before* the transport is chosen, so
+``run_distributed`` over any broker, any worker count and any arrival
+order is bit-for-bit identical to ``run_sharded(workers=1)``.
+
+Before contacting the broker the client consults the content-addressed
+:class:`~repro.distributed.cache.ResultCache`; fully-cached jobs never
+open a socket at all.  Freshly computed shard results are written back
+on arrival, so sweeps that revisit parameter points pay for each shard
+once, machine-wide.
+"""
+
+from __future__ import annotations
+
+import socket
+import uuid
+
+from .cache import resolve_cache
+from .wire import (
+    decode_result,
+    encode_task,
+    parse_endpoint,
+    recv_frame,
+    send_frame,
+    task_key,
+)
+
+__all__ = [
+    "DistributedError",
+    "execute_shards_remote",
+    "run_distributed",
+    "broker_status",
+]
+
+
+class DistributedError(RuntimeError):
+    """A distributed job could not be completed (broker/worker failure)."""
+
+
+def _request(sock: socket.socket, message: dict) -> dict:
+    try:
+        send_frame(sock, message)
+        reply = recv_frame(sock)
+    except TimeoutError as exc:
+        raise DistributedError(f"timed out waiting for the broker: {exc}") from exc
+    except OSError as exc:
+        raise DistributedError(f"broker connection failed: {exc}") from exc
+    if reply is None:
+        raise DistributedError("broker closed the connection")
+    return reply
+
+
+def execute_shards_remote(
+    tasks,
+    endpoint,
+    *,
+    cache="auto",
+    timeout: float | None = None,
+    connect_timeout: float = 10.0,
+) -> list:
+    """Run shard tasks through a broker; results in input order.
+
+    The remote counterpart of :func:`repro.parallel.execute_shards`:
+    every task is encoded through :mod:`repro.distributed.wire`,
+    content-addressed against ``cache`` (``"auto"`` honours
+    ``REPRO_CACHE_DIR``; ``None`` disables), and only the misses are
+    submitted as one job.  The call blocks until the broker reports
+    the job done (``timeout`` bounds the wait; None waits forever) and
+    raises :class:`DistributedError` if the job failed or the broker
+    vanished.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    store = resolve_cache(cache)
+    encoded = [encode_task(task) for task in tasks]
+    results: list = [None] * len(tasks)
+    if store is None:
+        # No store, no content addresses: hashing the full canonical
+        # encoding per shard would be pure overhead.
+        keys: list[str | None] = [None] * len(tasks)
+        misses = list(range(len(tasks)))
+    else:
+        keys = [task_key(obj) for obj in encoded]
+        misses = []
+        for i, key in enumerate(keys):
+            hit = store.get(key)
+            if hit is None:
+                misses.append(i)
+            else:
+                results[i] = hit
+    if not misses:
+        return results
+
+    job_id = uuid.uuid4().hex
+    host, port = parse_endpoint(endpoint)
+    try:
+        sock = socket.create_connection((host, port), timeout=connect_timeout)
+    except OSError as exc:
+        raise DistributedError(
+            f"cannot reach broker at {host}:{port}: {exc}"
+        ) from exc
+    with sock:
+        sock.settimeout(timeout)
+        reply = _request(
+            sock,
+            {
+                "type": "submit",
+                "job_id": job_id,
+                "tasks": [{"index": i, "task": encoded[i]} for i in misses],
+            },
+        )
+        if reply.get("type") != "accepted":
+            raise DistributedError(
+                f"broker rejected job: {reply.get('error', reply)}"
+            )
+        reply = _request(sock, {"type": "wait", "job_id": job_id})
+        if reply.get("type") == "failed":
+            raise DistributedError(f"distributed job failed: {reply.get('error')}")
+        if reply.get("type") != "done":
+            raise DistributedError(f"unexpected broker reply {reply.get('type')!r}")
+        for item in reply["results"]:
+            i = int(item["index"])
+            results[i] = decode_result(item["result"])
+            if store is not None:
+                store.put(keys[i], item["result"])
+    return results
+
+
+def run_distributed(
+    rule,
+    topology,
+    completion,
+    state,
+    seed,
+    *,
+    endpoint,
+    workers: int | None = None,
+    max_rounds: int | None = None,
+    track_hits: bool = False,
+    record_sizes: bool = False,
+    record_visited: bool = False,
+    budget_bytes: int | None = None,
+    max_shard: int | None = None,
+    cache="auto",
+):
+    """Shard one engine invocation's R axis across a broker's workers.
+
+    The drop-in distributed sibling of
+    :func:`repro.parallel.run_sharded` — identical signature semantics
+    plus ``endpoint`` (the broker's ``host:port``) and ``cache``.
+    The shard plan and per-shard spawned seeds are the same pure
+    functions of the arguments, so the merged
+    :class:`~repro.engine.SpreadResult` is bit-for-bit identical to
+    ``run_sharded`` at any worker count and any shard arrival order
+    (``workers`` is accepted for signature compatibility and ignored —
+    parallelism is however many workers the broker has).
+    """
+    from ..parallel.sharding import run_sharded
+
+    kwargs = {}
+    if budget_bytes is not None:
+        kwargs["budget_bytes"] = int(budget_bytes)
+    if max_shard is not None:
+        kwargs["max_shard"] = int(max_shard)
+    del workers  # broker-side parallelism; accepted for mirror-signature only
+    return run_sharded(
+        rule,
+        topology,
+        completion,
+        state,
+        seed,
+        max_rounds=max_rounds,
+        track_hits=track_hits,
+        record_sizes=record_sizes,
+        record_visited=record_visited,
+        endpoint=endpoint,
+        cache=cache,
+        **kwargs,
+    )
+
+
+def broker_status(endpoint, *, timeout: float = 5.0) -> dict:
+    """Fetch a broker's queue counters (pending/leased/done/failed/jobs)."""
+    host, port = parse_endpoint(endpoint)
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        raise DistributedError(
+            f"cannot reach broker at {host}:{port}: {exc}"
+        ) from exc
+    with sock:
+        sock.settimeout(timeout)
+        reply = _request(sock, {"type": "status"})
+    if reply.get("type") != "status":
+        raise DistributedError(f"unexpected broker reply {reply.get('type')!r}")
+    return {k: v for k, v in reply.items() if k != "type"}

@@ -1,0 +1,544 @@
+"""Versioned wire format for distributed shard execution.
+
+Everything a :class:`~repro.parallel.ShardTask` carries — the spread
+rule and its branching policy, the topology (a static CSR payload or a
+seeded graph-sequence spec), the completion criterion, the initial
+state array, and the shard's spawned :class:`numpy.random.SeedSequence`
+— is encoded into plain JSON-able dictionaries, and likewise for
+:class:`~repro.engine.SpreadResult`.  The pickle-only path of the
+in-process pool is thereby replaced by a format that
+
+* is **versioned** (:data:`WIRE_VERSION` travels in every task/result
+  and decoding rejects unknown versions instead of mis-parsing),
+* is **canonical** (:func:`canonical_bytes` serialises with sorted
+  keys and fixed separators, so the byte encoding of a task is a pure
+  function of its content — the substrate of the content-addressed
+  result cache, :func:`task_key`), and
+* crosses **machine boundaries** (no pickled code objects; rules and
+  sequences are reconstructed from small named specs through the same
+  registry of classes the in-process engine uses).
+
+Replay semantics for graph sequences: a sequence is shipped as its
+constructor spec plus its master seed (entropy, spawn key, pool size).
+``graph_at(t)`` draws the round streams by spawning children
+``0, 1, 2, ...`` of the master, so a freshly decoded sequence replays
+the identical topology realisation regardless of how far the sender's
+copy had already advanced.
+
+The module also owns the length-prefixed JSON framing used by the
+broker, worker and client (blocking-socket and asyncio variants), so
+the three speak one protocol by construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import struct
+
+import numpy as np
+
+from ..core.branching import BernoulliBranching, FixedBranching
+from ..engine.completion import AllActive, AllVertices, TargetHit
+from ..engine.engine import SpreadResult, StaticTopology
+from ..engine.rules import (
+    BipsRule,
+    CobraRule,
+    FloodingRule,
+    PullRule,
+    PushPullRule,
+    PushRule,
+    WalkRule,
+)
+from ..graphs.graph import Graph, SharedGraph
+from ..parallel.sharding import ShardTask
+
+__all__ = [
+    "WIRE_VERSION",
+    "MAX_FRAME_BYTES",
+    "encode_task",
+    "decode_task",
+    "encode_result",
+    "decode_result",
+    "canonical_bytes",
+    "task_key",
+    "parse_endpoint",
+    "send_frame",
+    "recv_frame",
+    "read_frame",
+    "write_frame",
+]
+
+#: Format version stamped into every encoded task and result.  Bump it
+#: whenever the encoding changes shape; decoders reject other versions,
+#: and the version participates in :func:`task_key`, so a bump also
+#: invalidates every cached result.
+WIRE_VERSION = 1
+
+#: Upper bound on one framed message (guards against a corrupt or
+#: hostile length prefix allocating gigabytes).
+MAX_FRAME_BYTES = 1 << 30
+
+
+# ----------------------------------------------------------------------
+# Scalars and arrays
+# ----------------------------------------------------------------------
+def _encode_array(arr: np.ndarray) -> dict:
+    """Encode an ndarray as dtype + shape + base64 of its C-order bytes."""
+    arr = np.ascontiguousarray(arr)
+    return {
+        "dtype": arr.dtype.str,
+        "shape": list(arr.shape),
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_array(obj: dict) -> np.ndarray:
+    """Rebuild an ndarray from :func:`_encode_array` output (owned copy)."""
+    raw = base64.b64decode(obj["data"])
+    arr = np.frombuffer(raw, dtype=np.dtype(obj["dtype"]))
+    return arr.reshape([int(s) for s in obj["shape"]]).copy()
+
+
+def _maybe_array(obj: dict | None) -> np.ndarray | None:
+    return None if obj is None else _decode_array(obj)
+
+
+def _encode_seed(seed: np.random.SeedSequence) -> dict:
+    """Encode a SeedSequence as entropy + spawn key + pool size.
+
+    The spawn-children counter is deliberately dropped: generators are
+    built from the sequence itself, and graph sequences replay their
+    round streams by spawning children from index 0, so a decoded seed
+    must always start with a fresh counter.
+    """
+    entropy = seed.entropy
+    if isinstance(entropy, (list, tuple)):
+        entropy = [int(e) for e in entropy]
+    elif entropy is not None:
+        entropy = int(entropy)
+    return {
+        "entropy": entropy,
+        "spawn_key": [int(k) for k in seed.spawn_key],
+        "pool_size": int(seed.pool_size),
+    }
+
+
+def _decode_seed(obj: dict) -> np.random.SeedSequence:
+    entropy = obj["entropy"]
+    if isinstance(entropy, list):
+        entropy = [int(e) for e in entropy]
+    elif entropy is not None:
+        entropy = int(entropy)
+    return np.random.SeedSequence(
+        entropy,
+        spawn_key=tuple(int(k) for k in obj["spawn_key"]),
+        pool_size=int(obj["pool_size"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Branching policies, rules, completion criteria
+# ----------------------------------------------------------------------
+def _encode_policy(policy) -> dict:
+    if isinstance(policy, FixedBranching):
+        return {"kind": "fixed", "b": int(policy.b)}
+    if isinstance(policy, BernoulliBranching):
+        return {"kind": "bernoulli", "rho": float(policy.rho)}
+    raise TypeError(
+        f"branching policy {type(policy).__name__} is not wire-encodable; "
+        "distributed execution supports FixedBranching and BernoulliBranching"
+    )
+
+
+def _decode_policy(obj: dict):
+    kind = obj["kind"]
+    if kind == "fixed":
+        return FixedBranching(int(obj["b"]))
+    if kind == "bernoulli":
+        return BernoulliBranching(float(obj["rho"]))
+    raise ValueError(f"unknown branching policy kind {kind!r}")
+
+
+def _encode_rule(rule) -> dict:
+    if isinstance(rule, CobraRule):
+        return {
+            "kind": "cobra",
+            "policy": _encode_policy(rule.policy),
+            "lazy": bool(rule.lazy),
+        }
+    if isinstance(rule, BipsRule):
+        return {
+            "kind": "bips",
+            "policy": _encode_policy(rule.policy),
+            "source": int(rule.source),
+            "lazy": bool(rule.lazy),
+            "discipline": rule.discipline,
+        }
+    if isinstance(rule, WalkRule):
+        return {"kind": "walk", "k": int(rule.k), "lazy": bool(rule.lazy)}
+    if isinstance(rule, PushRule):
+        return {"kind": "push", "fanout": int(rule.fanout)}
+    if isinstance(rule, PushPullRule):
+        return {"kind": "push-pull"}
+    if isinstance(rule, PullRule):
+        return {"kind": "pull"}
+    if isinstance(rule, FloodingRule):
+        return {
+            "kind": "flooding",
+            "runs": int(rule.runs),
+            "reflood": bool(rule.reflood),
+        }
+    raise TypeError(f"spread rule {type(rule).__name__} is not wire-encodable")
+
+
+def _decode_rule(obj: dict):
+    kind = obj["kind"]
+    if kind == "cobra":
+        return CobraRule(_decode_policy(obj["policy"]), lazy=obj["lazy"])
+    if kind == "bips":
+        return BipsRule(
+            _decode_policy(obj["policy"]),
+            int(obj["source"]),
+            lazy=obj["lazy"],
+            discipline=obj["discipline"],
+        )
+    if kind == "walk":
+        return WalkRule(int(obj["k"]), lazy=obj["lazy"])
+    if kind == "push":
+        return PushRule(int(obj["fanout"]))
+    if kind == "push-pull":
+        return PushPullRule()
+    if kind == "pull":
+        return PullRule()
+    if kind == "flooding":
+        return FloodingRule(runs=int(obj["runs"]), reflood=obj["reflood"])
+    raise ValueError(f"unknown spread rule kind {kind!r}")
+
+
+def _encode_completion(criterion) -> dict:
+    if isinstance(criterion, AllVertices):
+        return {"kind": "all-vertices"}
+    if isinstance(criterion, AllActive):
+        return {"kind": "all-active"}
+    if isinstance(criterion, TargetHit):
+        return {"kind": "target-hit", "target": int(criterion.target)}
+    raise TypeError(
+        f"completion criterion {type(criterion).__name__} is not wire-encodable"
+    )
+
+
+def _decode_completion(obj: dict):
+    kind = obj["kind"]
+    if kind == "all-vertices":
+        return AllVertices()
+    if kind == "all-active":
+        return AllActive()
+    if kind == "target-hit":
+        return TargetHit(int(obj["target"]))
+    raise ValueError(f"unknown completion kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Topologies
+# ----------------------------------------------------------------------
+def _encode_graph(graph: Graph) -> dict:
+    return {
+        "kind": "graph",
+        "n": int(graph.n),
+        "m": int(graph.m),
+        "name": graph.name,
+        "indptr": _encode_array(graph.indptr),
+        "indices": _encode_array(graph.indices),
+    }
+
+
+def _decode_graph(obj: dict) -> Graph:
+    indptr = _decode_array(obj["indptr"])
+    indices = _decode_array(obj["indices"])
+    degrees = np.diff(indptr)
+    return Graph._from_csr(
+        int(obj["n"]), int(obj["m"]), indptr, indices, degrees, obj["name"]
+    )
+
+
+def _encode_topology(topology) -> dict:
+    from ..dynamics.providers import (
+        ChurnSequence,
+        EdgeMarkovianSequence,
+        RewiringSequence,
+    )
+    from ..dynamics.sequence import FrozenSequence
+
+    if isinstance(topology, Graph):
+        return _encode_graph(topology)
+    if isinstance(topology, StaticTopology):
+        return _encode_graph(topology.base)
+    if isinstance(topology, SharedGraph):
+        raise TypeError(
+            "a SharedGraph handle is process-local and cannot cross machine "
+            "boundaries; ship the underlying Graph instead"
+        )
+    if isinstance(topology, FrozenSequence):
+        return {"kind": "frozen", "base": _encode_graph(topology.base)}
+    if isinstance(topology, RewiringSequence):
+        return {
+            "kind": "rewiring",
+            "base": _encode_graph(topology.base),
+            "swaps": int(topology.swaps_per_round),
+            "keep_connected": bool(topology.keep_connected),
+            "max_retries": int(topology.max_retries),
+            "seed": _encode_seed(topology._master),
+        }
+    if isinstance(topology, EdgeMarkovianSequence):
+        return {
+            "kind": "edge-markovian",
+            "base": _encode_graph(topology.base),
+            "birth": float(topology.birth),
+            "death": float(topology.death),
+            "seed": _encode_seed(topology._master),
+        }
+    if isinstance(topology, ChurnSequence):
+        return {
+            "kind": "churn",
+            "base": _encode_graph(topology.base),
+            "leave": float(topology.leave),
+            "rejoin": float(topology.rejoin),
+            "protected": np.nonzero(topology._protected)[0].tolist(),
+            "seed": _encode_seed(topology._master),
+        }
+    raise TypeError(
+        f"topology {type(topology).__name__} is not wire-encodable; "
+        "supported: Graph, FrozenSequence, RewiringSequence, "
+        "EdgeMarkovianSequence, ChurnSequence"
+    )
+
+
+def _decode_topology(obj: dict):
+    from ..dynamics.providers import (
+        ChurnSequence,
+        EdgeMarkovianSequence,
+        RewiringSequence,
+    )
+    from ..dynamics.sequence import FrozenSequence
+
+    kind = obj["kind"]
+    if kind == "graph":
+        return _decode_graph(obj)
+    if kind == "frozen":
+        return FrozenSequence(_decode_graph(obj["base"]))
+    if kind == "rewiring":
+        return RewiringSequence(
+            _decode_graph(obj["base"]),
+            int(obj["swaps"]),
+            seed=_decode_seed(obj["seed"]),
+            keep_connected=obj["keep_connected"],
+            max_retries=int(obj["max_retries"]),
+        )
+    if kind == "edge-markovian":
+        return EdgeMarkovianSequence(
+            _decode_graph(obj["base"]),
+            float(obj["birth"]),
+            float(obj["death"]),
+            seed=_decode_seed(obj["seed"]),
+        )
+    if kind == "churn":
+        return ChurnSequence(
+            _decode_graph(obj["base"]),
+            float(obj["leave"]),
+            float(obj["rejoin"]),
+            seed=_decode_seed(obj["seed"]),
+            protected=tuple(int(v) for v in obj["protected"]),
+        )
+    raise ValueError(f"unknown topology kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Tasks and results
+# ----------------------------------------------------------------------
+def encode_task(task: ShardTask) -> dict:
+    """Encode a :class:`~repro.parallel.ShardTask` as a JSON-able dict.
+
+    The encoding is complete: :func:`decode_task` on another machine
+    rebuilds a task whose execution by
+    :func:`repro.parallel.run_shard` is bit-for-bit identical to
+    running the original in-process.
+    """
+    return {
+        "v": WIRE_VERSION,
+        "kind": "task",
+        "rule": _encode_rule(task.rule),
+        "topology": _encode_topology(task.topology),
+        "completion": _encode_completion(task.completion),
+        "state": _encode_array(task.state),
+        "seed": _encode_seed(task.seed),
+        "max_rounds": None if task.max_rounds is None else int(task.max_rounds),
+        "track_hits": bool(task.track_hits),
+        "record_sizes": bool(task.record_sizes),
+        "record_visited": bool(task.record_visited),
+    }
+
+
+def _check_version(obj: dict, kind: str) -> None:
+    if obj.get("v") != WIRE_VERSION:
+        raise ValueError(
+            f"wire version mismatch: got {obj.get('v')!r}, "
+            f"this build speaks version {WIRE_VERSION}"
+        )
+    if obj.get("kind") != kind:
+        raise ValueError(f"expected a {kind!r} message, got {obj.get('kind')!r}")
+
+
+def decode_task(obj: dict) -> ShardTask:
+    """Rebuild a :class:`~repro.parallel.ShardTask` from its encoding."""
+    _check_version(obj, "task")
+    return ShardTask(
+        rule=_decode_rule(obj["rule"]),
+        topology=_decode_topology(obj["topology"]),
+        completion=_decode_completion(obj["completion"]),
+        state=_decode_array(obj["state"]),
+        seed=_decode_seed(obj["seed"]),
+        max_rounds=obj["max_rounds"],
+        track_hits=obj["track_hits"],
+        record_sizes=obj["record_sizes"],
+        record_visited=obj["record_visited"],
+    )
+
+
+def encode_result(result: SpreadResult) -> dict:
+    """Encode a :class:`~repro.engine.SpreadResult` as a JSON-able dict."""
+    return {
+        "v": WIRE_VERSION,
+        "kind": "result",
+        "finish_times": _encode_array(result.finish_times),
+        "rounds_run": int(result.rounds_run),
+        "final_state": _encode_array(result.final_state),
+        "hit_times": (
+            None if result.hit_times is None else _encode_array(result.hit_times)
+        ),
+        "sizes": None if result.sizes is None else _encode_array(result.sizes),
+        "visited_counts": (
+            None
+            if result.visited_counts is None
+            else _encode_array(result.visited_counts)
+        ),
+    }
+
+
+def decode_result(obj: dict) -> SpreadResult:
+    """Rebuild a :class:`~repro.engine.SpreadResult` from its encoding."""
+    _check_version(obj, "result")
+    return SpreadResult(
+        finish_times=_decode_array(obj["finish_times"]),
+        rounds_run=int(obj["rounds_run"]),
+        final_state=_decode_array(obj["final_state"]),
+        hit_times=_maybe_array(obj["hit_times"]),
+        sizes=_maybe_array(obj["sizes"]),
+        visited_counts=_maybe_array(obj["visited_counts"]),
+    )
+
+
+def canonical_bytes(obj: dict) -> bytes:
+    """Serialise a JSON-able object deterministically (sorted keys).
+
+    Two calls on equal objects yield equal bytes, making the output
+    suitable for hashing (:func:`task_key`) and for byte-comparison in
+    tests.
+    """
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+def task_key(task: "ShardTask | dict") -> str:
+    """The content address of a shard task: sha256 of its canonical bytes.
+
+    Accepts either a :class:`~repro.parallel.ShardTask` or an
+    already-encoded task dict.  Every input that influences the
+    execution outcome — rule, topology, completion, state, seed, round
+    cap, recording flags, and the wire version itself — participates,
+    so equal keys imply bit-identical results and a format bump
+    invalidates old cache entries.
+    """
+    obj = task if isinstance(task, dict) else encode_task(task)
+    return hashlib.sha256(canonical_bytes(obj)).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Endpoint parsing and message framing
+# ----------------------------------------------------------------------
+_FRAME_HEADER = struct.Struct(">I")
+
+
+def parse_endpoint(spec) -> tuple[str, int]:
+    """Parse an endpoint spec into ``(host, port)``.
+
+    Accepts ``"host:port"``, a bare ``"port"`` (host defaults to
+    ``127.0.0.1``), or an already-split ``(host, port)`` pair.
+    """
+    if isinstance(spec, (tuple, list)):
+        return str(spec[0]), int(spec[1])
+    text = str(spec).strip()
+    if ":" not in text:
+        return "127.0.0.1", int(text)
+    host, port = text.rsplit(":", 1)
+    return host or "127.0.0.1", int(port)
+
+
+def _pack(obj: dict) -> bytes:
+    payload = json.dumps(obj, separators=(",", ":"), allow_nan=False).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ValueError(f"frame of {len(payload)} bytes exceeds MAX_FRAME_BYTES")
+    return _FRAME_HEADER.pack(len(payload)) + payload
+
+
+def send_frame(sock, obj: dict) -> None:
+    """Write one length-prefixed JSON frame to a blocking socket."""
+    sock.sendall(_pack(obj))
+
+
+def _recv_exact(sock, count: int, *, allow_eof: bool = False) -> bytes | None:
+    buf = b""
+    while len(buf) < count:
+        chunk = sock.recv(count - len(buf))
+        if not chunk:
+            if allow_eof and not buf:
+                return None
+            raise ConnectionError("connection closed mid-frame")
+        buf += chunk
+    return buf
+
+
+def recv_frame(sock) -> dict | None:
+    """Read one frame from a blocking socket; None on clean EOF."""
+    header = _recv_exact(sock, _FRAME_HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ValueError(f"incoming frame of {length} bytes exceeds MAX_FRAME_BYTES")
+    payload = _recv_exact(sock, length)
+    return json.loads(payload.decode("utf-8"))
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame from an asyncio stream; None on clean EOF."""
+    try:
+        header = await reader.readexactly(_FRAME_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ConnectionError("connection closed mid-frame") from exc
+    (length,) = _FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ValueError(f"incoming frame of {length} bytes exceeds MAX_FRAME_BYTES")
+    payload = await reader.readexactly(length)
+    return json.loads(payload.decode("utf-8"))
+
+
+async def write_frame(writer: asyncio.StreamWriter, obj: dict) -> None:
+    """Write one frame to an asyncio stream and drain."""
+    writer.write(_pack(obj))
+    await writer.drain()

@@ -1,0 +1,152 @@
+"""The shard worker: lease, execute, stream back, repeat.
+
+A worker is a plain blocking-socket loop around the one engine entry
+point the whole repo shares, :func:`repro.parallel.run_shard`: it
+leases a shard from the broker, decodes the task (rule, topology,
+completion, state, seed) through :mod:`repro.distributed.wire`,
+executes it, and streams the encoded result back.  Leasing happens in
+completion order — a worker only asks for the next shard after
+finishing the last — which is what balances heavy-tailed cover times
+across a heterogeneous pool.
+
+While a shard is computing, a daemon heartbeat thread renews the lease
+at a third of the broker's lease timeout, so long shards on healthy
+workers are never requeued; a worker that is killed simply stops
+heartbeating (and drops its connection), and the broker requeues its
+shard.  A task that *raises* is reported as an ``error`` message
+instead of silently dying, letting the broker retry it elsewhere or
+fail the job after ``max_attempts``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from ..parallel.sharding import run_shard
+from .wire import decode_task, encode_result, parse_endpoint, recv_frame, send_frame
+
+__all__ = ["run_worker"]
+
+
+def _heartbeat_loop(
+    sock: socket.socket,
+    lock: threading.Lock,
+    shard_id: str,
+    interval: float,
+    stop: threading.Event,
+) -> None:
+    while not stop.wait(interval):
+        try:
+            with lock:
+                send_frame(sock, {"type": "heartbeat", "shard_id": shard_id})
+        except OSError:
+            return
+
+
+def _connect(
+    host: str, port: int, retries: int, retry_delay: float
+) -> socket.socket:
+    for attempt in range(retries + 1):
+        try:
+            return socket.create_connection((host, port), timeout=10.0)
+        except OSError:
+            if attempt == retries:
+                raise
+            time.sleep(retry_delay)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def run_worker(
+    endpoint,
+    *,
+    max_tasks: int | None = None,
+    poll_interval: float = 0.5,
+    connect_retries: int = 20,
+    retry_delay: float = 0.25,
+) -> int:
+    """Serve shards from ``endpoint`` until the broker goes away.
+
+    Parameters
+    ----------
+    endpoint:
+        Broker address, anything :func:`repro.distributed.parse_endpoint`
+        accepts (``"host:port"``).
+    max_tasks:
+        Exit after this many completed shards (None = run until the
+        broker closes the connection — the CLI deployment mode).
+    poll_interval:
+        Sleep between lease attempts while the queue is empty.
+    connect_retries / retry_delay:
+        Dial retries, so workers may be launched before (or while) the
+        broker comes up.
+
+    Returns the number of shards completed (including ones that ended
+    in a reported error).
+    """
+    host, port = parse_endpoint(endpoint)
+    sock = _connect(host, port, int(connect_retries), float(retry_delay))
+    sock.settimeout(None)
+    lock = threading.Lock()
+    completed = 0
+    try:
+        while max_tasks is None or completed < max_tasks:
+            with lock:
+                send_frame(sock, {"type": "lease"})
+            message = recv_frame(sock)
+            if message is None:
+                break
+            kind = message.get("type")
+            if kind == "idle":
+                time.sleep(poll_interval)
+                continue
+            if kind != "task":
+                break
+            shard_id = message["shard_id"]
+            interval = max(0.05, float(message.get("lease_timeout", 30.0)) / 3.0)
+            stop = threading.Event()
+            heartbeat = threading.Thread(
+                target=_heartbeat_loop,
+                args=(sock, lock, shard_id, interval, stop),
+                name="repro-worker-heartbeat",
+                daemon=True,
+            )
+            heartbeat.start()
+            try:
+                result = run_shard(decode_task(message["task"]))
+            except Exception as exc:
+                stop.set()
+                heartbeat.join()
+                with lock:
+                    send_frame(
+                        sock,
+                        {
+                            "type": "error",
+                            "shard_id": shard_id,
+                            "message": f"{type(exc).__name__}: {exc}",
+                        },
+                    )
+                if recv_frame(sock) is None:
+                    break
+                completed += 1
+                continue
+            stop.set()
+            heartbeat.join()
+            with lock:
+                send_frame(
+                    sock,
+                    {
+                        "type": "complete",
+                        "shard_id": shard_id,
+                        "result": encode_result(result),
+                    },
+                )
+            if recv_frame(sock) is None:
+                break
+            completed += 1
+    except (ConnectionError, OSError):
+        pass
+    finally:
+        sock.close()
+    return completed

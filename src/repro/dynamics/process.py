@@ -376,7 +376,9 @@ def _sharded_dynamic_times(
     *,
     max_rounds: int | None,
     completion: str,
-    workers: int,
+    workers: int | None,
+    endpoint: str | None = None,
+    cache="auto",
     what: str,
 ) -> np.ndarray:
     """Shard a dynamic batched sampler over worker processes.
@@ -388,7 +390,10 @@ def _sharded_dynamic_times(
     the scalar samplers); a plain :class:`GraphSequence` argument is
     shared by every shard, preserving quenched semantics.  The shard
     plan and seeds are independent of ``workers``, so the returned
-    samples are identical at any worker count.
+    samples are identical at any worker count.  With ``endpoint`` set,
+    the same tasks go to a :mod:`repro.distributed` broker — each
+    remote worker re-realises its shard's sequence from the wire-
+    encoded seed pair — and the samples stay identical.
     """
     from ..engine.completion import make_completion
     from ..parallel.sharding import (
@@ -424,7 +429,13 @@ def _sharded_dynamic_times(
                 max_rounds=max_rounds,
             )
         )
-    res = merge_shard_results(execute_shards(tasks, workers))
+    if endpoint is not None:
+        from ..distributed.client import execute_shards_remote
+
+        results = execute_shards_remote(tasks, endpoint, cache=cache)
+    else:
+        results = execute_shards(tasks, workers)
+    res = merge_shard_results(results)
     return finished_times_or_raise(res.finish_times, f"sharded dynamic {what}")
 
 
@@ -508,6 +519,8 @@ def dynamic_cover_time_batch(
     max_rounds: int | None = None,
     completion: str = "all-vertices",
     workers: int | None = None,
+    endpoint: str | None = None,
+    cache="auto",
 ) -> np.ndarray:
     """Sample dynamic COBRA cover times with the batched runner.
 
@@ -523,8 +536,12 @@ def dynamic_cover_time_batch(
     spawned seed (see :func:`repro.parallel.run_sharded`).  Sharded
     samples are identical at every worker count but are a different —
     equally valid — stream than the default single-batch path.
+    ``endpoint`` sends the same shards to a :mod:`repro.distributed`
+    broker instead (``cache`` as in
+    :func:`repro.distributed.execute_shards_remote`); samples match
+    the local sharded path bit-for-bit.
     """
-    if workers is not None:
+    if workers is not None or endpoint is not None:
         return _sharded_dynamic_times(
             sequence,
             runs,
@@ -533,7 +550,9 @@ def dynamic_cover_time_batch(
             seed,
             max_rounds=max_rounds,
             completion=completion,
-            workers=int(workers),
+            workers=None if workers is None else int(workers),
+            endpoint=endpoint,
+            cache=cache,
             what="COBRA",
         )
     topo_seed, proc_seed = batch_seed_pair(seed)
@@ -564,15 +583,18 @@ def dynamic_infection_time_batch(
     max_rounds: int | None = None,
     completion: str = "all-vertices",
     workers: int | None = None,
+    endpoint: str | None = None,
+    cache="auto",
 ) -> np.ndarray:
     """Sample dynamic BIPS infection times with the batched runner.
 
     The BIPS counterpart of :func:`dynamic_cover_time_batch`: one
     shared topology realisation, one ``(R, n)`` program — or, with
-    ``workers`` set, deterministic shards over worker processes with
-    shard-local realisations (see :func:`dynamic_cover_time_batch`).
+    ``workers`` / ``endpoint`` set, deterministic shards over worker
+    processes or a broker's worker fleet with shard-local
+    realisations (see :func:`dynamic_cover_time_batch`).
     """
-    if workers is not None:
+    if workers is not None or endpoint is not None:
         return _sharded_dynamic_times(
             sequence,
             runs,
@@ -581,7 +603,9 @@ def dynamic_infection_time_batch(
             seed,
             max_rounds=max_rounds,
             completion=completion,
-            workers=int(workers),
+            workers=None if workers is None else int(workers),
+            endpoint=endpoint,
+            cache=cache,
             what="BIPS",
         )
     topo_seed, proc_seed = batch_seed_pair(seed)

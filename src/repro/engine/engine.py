@@ -286,6 +286,9 @@ class SpreadEngine:
         budget_bytes: int | None = None,
         max_shard: int | None = None,
         mp_context: str | None = None,
+        schedule: str = "static",
+        endpoint: str | None = None,
+        cache="auto",
     ) -> SpreadResult:
         """Advance the runs sharded across worker processes.
 
@@ -307,6 +310,13 @@ class SpreadEngine:
         are merged across shards on a common round axis with
         terminal-value padding — the engine-level one-pass recorder the
         analysis ensembles are built on.
+
+        ``schedule="completion"`` switches the local pool to
+        completion-order dispatch (idle workers steal the next shard
+        immediately; results re-keyed by shard index, so output is
+        unchanged).  ``endpoint`` routes the same shard plan through a
+        :mod:`repro.distributed` broker instead of a local pool — see
+        :meth:`run_distributed`.
         """
         from ..parallel import sharding
 
@@ -327,5 +337,50 @@ class SpreadEngine:
             record_sizes=record_sizes,
             record_visited=record_visited,
             mp_context=mp_context,
+            schedule=schedule,
+            endpoint=endpoint,
+            cache=cache,
             **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    def run_distributed(
+        self,
+        state: np.ndarray,
+        seed,
+        *,
+        endpoint: str,
+        max_rounds: int | None = None,
+        track_hits: bool = False,
+        record_sizes: bool = False,
+        record_visited: bool = False,
+        budget_bytes: int | None = None,
+        max_shard: int | None = None,
+        cache="auto",
+    ) -> SpreadResult:
+        """Advance the runs sharded across a broker's worker fleet.
+
+        The multi-host counterpart of :meth:`run_sharded`: the same
+        deterministic shard plan and per-shard spawned seeds, but the
+        tasks travel to a :mod:`repro.distributed` broker at
+        ``endpoint`` (``host:port``) over the versioned wire format,
+        are leased to whatever workers are attached (surviving worker
+        death through lease-timeout requeue), and the results are
+        content-address cached (``cache="auto"`` honours
+        ``REPRO_CACHE_DIR``; ``None`` disables).  The merged
+        :class:`SpreadResult` is bit-for-bit identical to
+        ``run_sharded(workers=1)`` regardless of worker count, arrival
+        order, or requeues.
+        """
+        return self.run_sharded(
+            state,
+            seed,
+            max_rounds=max_rounds,
+            track_hits=track_hits,
+            record_sizes=record_sizes,
+            record_visited=record_visited,
+            budget_bytes=budget_bytes,
+            max_shard=max_shard,
+            endpoint=endpoint,
+            cache=cache,
         )

@@ -64,7 +64,7 @@ class SharedGraph:
       the program.  Using the handle as a context manager does both.
     """
 
-    __slots__ = ("shm_name", "n", "m", "graph_name", "_shm", "_owner")
+    __slots__ = ("shm_name", "n", "m", "graph_name", "_shm", "_owner", "_unlinked")
 
     def __init__(
         self, shm_name: str, n: int, m: int, graph_name: str
@@ -75,6 +75,7 @@ class SharedGraph:
         self.graph_name = graph_name
         self._shm = None
         self._owner = False
+        self._unlinked = False
 
     # -- pickling: ship only the name + geometry ------------------------
     def __getstate__(self):
@@ -84,6 +85,7 @@ class SharedGraph:
         self.shm_name, self.n, self.m, self.graph_name = state
         self._shm = None
         self._owner = False
+        self._unlinked = False
 
     # -- attachment -----------------------------------------------------
     def _segment(self):
@@ -131,7 +133,7 @@ class SharedGraph:
                 pass
 
     def unlink(self) -> None:
-        """Destroy the segment (creator-side; call exactly once).
+        """Destroy the segment (creator-side; idempotent).
 
         Prefer unlinking *before* :meth:`close`: that goes through the
         original tracked ``SharedMemory``, which also drops the
@@ -140,16 +142,31 @@ class SharedGraph:
         an untracked re-attach, and the stale registration is removed
         best-effort (Python 3.13's ``track=False`` unlink skips the
         unregister that older versions do unconditionally).
+
+        A second ``unlink()`` — or one racing another process that
+        already destroyed the segment — is a silent no-op, as is a
+        ``close()`` afterwards, so teardown code never needs to track
+        which of the two ran first.
         """
-        shm = self._shm
-        if shm is not None:
-            shm.unlink()
+        if self._unlinked:
             return
-        shm = _attach_untracked(self.shm_name)
+        shm = self._shm
+        try:
+            if shm is not None:
+                shm.unlink()
+                self._unlinked = True
+                return
+            shm = _attach_untracked(self.shm_name)
+        except FileNotFoundError:
+            self._unlinked = True
+            return
         try:
             shm.unlink()
+        except FileNotFoundError:
+            pass
         finally:
             shm.close()
+        self._unlinked = True
         if self._owner and getattr(shm, "_track", None) is False:
             # 3.13+ untracked attach: unlink() skipped the unregister
             # that pre-3.13 (tracked) attaches perform, so drop the

@@ -107,8 +107,11 @@ def plan_shards(
     declared per-run state footprint under ``budget_bytes``), capped at
     ``max_shard`` runs per shard.  The result depends only on the
     arguments — never on the machine or the worker count — which is
-    what makes sharded execution seed-stable.
+    what makes sharded execution seed-stable.  ``total_runs == 0``
+    yields the empty plan (zero shards) rather than an error.
     """
+    if total_runs == 0:
+        return []
     return plan_batches_for(
         rule,
         total_runs,
@@ -190,21 +193,46 @@ def _mp_context(spec: str | None = None):
     return mp.get_context(spec)
 
 
+def _run_shard_indexed(item: tuple[int, ShardTask]):
+    """Pool entry point for completion-order scheduling: keep the index.
+
+    ``imap_unordered`` yields results in finish order, so each one must
+    carry its shard index home for re-keying before the merge.
+    """
+    index, task = item
+    return index, run_shard(task)
+
+
 def execute_shards(
     tasks: Sequence[ShardTask],
     workers: int | None = None,
     *,
     mp_context: str | None = None,
+    schedule: str = "static",
 ) -> list:
     """Run shard tasks, serially or across a process pool.
 
     ``workers=None`` uses :func:`repro.parallel.default_workers`;
-    ``workers <= 1`` (or a single task) runs in-process.  Output order
+    ``workers <= 1`` (or a single task) runs in-process, and a worker
+    count above the task count is clamped (fewer shards than workers is
+    fine — the surplus workers are simply never spawned).  Output order
     matches input order, and because every task carries its own spawned
     seed the results are identical either way.  ``chunksize`` is pinned
     to 1: shards are few and heavy, so eager redistribution beats
     amortised IPC.
+
+    ``schedule`` selects the dispatch discipline: ``"static"`` is
+    ``Pool.map`` (results retrieved in order); ``"completion"`` is
+    ``Pool.imap_unordered`` — shards stream back the moment they
+    finish, and idle workers steal the next shard immediately, which
+    helps when cover times are heavy-tailed and one shard dominates.
+    Results are re-keyed by shard index before returning, so the two
+    schedules are observably identical apart from wall-clock.
     """
+    if schedule not in ("static", "completion"):
+        raise ValueError(
+            f"unknown schedule {schedule!r}: expected 'static' or 'completion'"
+        )
     tasks = list(tasks)
     if not tasks:
         return []
@@ -214,6 +242,13 @@ def execute_shards(
         return [run_shard(task) for task in tasks]
     ctx = _mp_context(mp_context)
     with ctx.Pool(processes=workers) as pool:
+        if schedule == "completion":
+            results: list = [None] * len(tasks)
+            for index, result in pool.imap_unordered(
+                _run_shard_indexed, list(enumerate(tasks)), chunksize=1
+            ):
+                results[index] = result
+            return results
         return pool.map(run_shard, tasks, chunksize=1)
 
 
@@ -242,13 +277,19 @@ def merge_shard_results(results: Sequence):
     ``finish_times`` / ``final_state`` / ``hit_times`` concatenate
     along the run axis; ``rounds_run`` is the max over shards; recorded
     trajectories are aligned with terminal-value padding (see
-    :func:`_pad_trajectories`).
+    :func:`_pad_trajectories`).  An empty sequence (the R = 0 plan)
+    merges into a well-formed zero-run result rather than raising, so
+    callers need no guard around degenerate plans.
     """
     from ..engine.engine import SpreadResult
 
     results = list(results)
     if not results:
-        raise ValueError("need at least one shard result")
+        return SpreadResult(
+            finish_times=np.empty(0, dtype=np.int64),
+            rounds_run=0,
+            final_state=np.empty((0, 0), dtype=bool),
+        )
     if len(results) == 1:
         return results[0]
     width = max(r.rounds_run for r in results) + 1
@@ -274,6 +315,29 @@ def merge_shard_results(results: Sequence):
     )
 
 
+def _empty_result(
+    state: np.ndarray,
+    n: int,
+    *,
+    track_hits: bool,
+    record_sizes: bool,
+    record_visited: bool,
+):
+    """A well-formed SpreadResult for an R = 0 invocation."""
+    from ..engine.engine import SpreadResult
+
+    return SpreadResult(
+        finish_times=np.empty(0, dtype=np.int64),
+        rounds_run=0,
+        final_state=state.copy(),
+        hit_times=np.empty((0, n), dtype=np.int64) if track_hits else None,
+        sizes=np.empty((0, 1), dtype=np.int64) if record_sizes else None,
+        visited_counts=(
+            np.empty((0, 1), dtype=np.int64) if record_visited else None
+        ),
+    )
+
+
 def run_sharded(
     rule,
     topology,
@@ -289,6 +353,9 @@ def run_sharded(
     budget_bytes: int = DEFAULT_SHARD_STATE_BUDGET_BYTES,
     max_shard: int = DEFAULT_MAX_SHARD,
     mp_context: str | None = None,
+    schedule: str = "static",
+    endpoint: str | None = None,
+    cache="auto",
 ):
     """Shard one engine invocation's R axis across worker processes.
 
@@ -299,7 +366,17 @@ def run_sharded(
     topologies are exported to shared memory for the parallel case —
     created, closed and unlinked here, so callers manage nothing.
     Returns a merged :class:`~repro.engine.SpreadResult`; results are
-    identical for every ``workers`` value.
+    identical for every ``workers`` value (an ``R = 0`` state merges
+    into a well-formed empty result).  ``schedule`` selects the pool
+    dispatch discipline (see :func:`execute_shards`).
+
+    With ``endpoint`` set (a broker's ``host:port``) the same tasks —
+    same plan, same spawned seeds — go through
+    :func:`repro.distributed.execute_shards_remote` instead of a local
+    pool: the topology ships by value over the versioned wire format
+    (no shared memory), results are content-address cached per
+    ``cache``, and the merged output stays bit-for-bit identical to
+    every local execution mode.
 
     Bit-packed rules (flooding) fold all runs into shared byte planes,
     so their state cannot be row-sharded; they are rejected.
@@ -314,6 +391,14 @@ def run_sharded(
         )
     topo = as_topology(topology)
     runs = state.shape[0]
+    if runs == 0:
+        return _empty_result(
+            state,
+            topo.n,
+            track_hits=track_hits,
+            record_sizes=record_sizes,
+            record_visited=record_visited,
+        )
     shard_sizes = plan_shards(
         rule, runs, topo.n, budget_bytes=budget_bytes, max_shard=max_shard
     )
@@ -323,7 +408,7 @@ def run_sharded(
 
     shared: SharedGraph | None = None
     ship: object = topo
-    if workers > 1 and isinstance(topo, StaticTopology):
+    if endpoint is None and workers > 1 and isinstance(topo, StaticTopology):
         shared = topo.base.to_shared()
         ship = shared
     try:
@@ -342,7 +427,14 @@ def run_sharded(
             )
             for lo, hi, s in zip(bounds[:-1], bounds[1:], seeds)
         ]
-        results = execute_shards(tasks, workers, mp_context=mp_context)
+        if endpoint is not None:
+            from ..distributed.client import execute_shards_remote
+
+            results = execute_shards_remote(tasks, endpoint, cache=cache)
+        else:
+            results = execute_shards(
+                tasks, workers, mp_context=mp_context, schedule=schedule
+            )
     finally:
         if shared is not None:
             # Unlink first: through the still-open creator handle it

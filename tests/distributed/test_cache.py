@@ -1,0 +1,100 @@
+"""Content-addressed result cache: hit/miss semantics and resolution."""
+
+import numpy as np
+import pytest
+
+from repro.core.branching import make_policy
+from repro.distributed import ResultCache, resolve_cache, task_key
+from repro.distributed.cache import CACHE_ENV_VAR
+from repro.engine import CobraRule
+from repro.engine.completion import AllVertices
+from repro.graphs import random_regular_graph
+from repro.parallel import ShardTask, run_shard
+
+
+def _task(seed=1):
+    graph = random_regular_graph(16, 4, rng=2)
+    state = np.zeros((4, graph.n), dtype=bool)
+    state[:, 0] = True
+    return ShardTask(
+        rule=CobraRule(make_policy(2)),
+        topology=graph,
+        completion=AllVertices(),
+        state=state,
+        seed=np.random.SeedSequence(seed),
+        track_hits=True,
+    )
+
+
+class TestResultCache:
+    def test_miss_then_hit_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = _task()
+        key = task_key(task)
+        assert cache.get(key) is None
+        assert key not in cache
+        result = run_shard(task)
+        path = cache.put(key, result)
+        assert path.exists()
+        assert key in cache
+        assert len(cache) == 1
+        back = cache.get(key)
+        assert np.array_equal(back.finish_times, result.finish_times)
+        assert np.array_equal(back.hit_times, result.hit_times)
+        assert np.array_equal(back.final_state, result.final_state)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_different_tasks_different_addresses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a, b = _task(seed=1), _task(seed=2)
+        cache.put(task_key(a), run_shard(a))
+        assert cache.get(task_key(b)) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = task_key(_task())
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_put_accepts_encoded_dict(self, tmp_path):
+        from repro.distributed import encode_result
+
+        cache = ResultCache(tmp_path)
+        task = _task()
+        result = run_shard(task)
+        cache.put(task_key(task), encode_result(result))
+        back = cache.get(task_key(task))
+        assert np.array_equal(back.finish_times, result.finish_times)
+
+
+class TestResolution:
+    def test_none_disables(self):
+        assert resolve_cache(None) is None
+
+    def test_instance_passes_through(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert resolve_cache(cache) is cache
+
+    def test_path_builds_cache(self, tmp_path):
+        cache = resolve_cache(tmp_path / "store")
+        assert isinstance(cache, ResultCache)
+        assert cache.root == tmp_path / "store"
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "OFF"])
+    def test_env_disables_auto(self, monkeypatch, value):
+        monkeypatch.setenv(CACHE_ENV_VAR, value)
+        assert resolve_cache("auto") is None
+
+    def test_env_points_auto_at_directory(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "cc"))
+        cache = resolve_cache("auto")
+        assert cache is not None
+        assert cache.root == tmp_path / "cc"
+
+    def test_unset_env_defaults_to_home(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        root = ResultCache.default_root()
+        assert root is not None
+        assert root.parts[-2:] == ("repro", "results")

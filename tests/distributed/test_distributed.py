@@ -1,0 +1,441 @@
+"""End-to-end distributed execution over a localhost broker.
+
+The acceptance contract under test: ``run_distributed`` through a real
+TCP broker with real worker processes returns results bit-for-bit
+identical to ``SpreadEngine.run_sharded(workers=1)`` — for COBRA, BIPS
+and walk rules, on static and dynamic topologies, with recorded
+trajectories, and *including* the run where a worker stalls mid-shard
+and the broker requeues its lease onto the survivors.
+"""
+
+import multiprocessing as mp
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import cover_time_samples
+from repro.core.branching import make_policy
+from repro.distributed import (
+    Broker,
+    DistributedError,
+    ResultCache,
+    broker_status,
+    execute_shards_remote,
+)
+from repro.distributed.wire import parse_endpoint, recv_frame, send_frame
+from repro.distributed.worker import run_worker
+from repro.dynamics import (
+    RewiringSequence,
+    dynamic_cover_time_batch,
+    dynamic_infection_time_batch,
+)
+from repro.engine import BipsRule, CobraRule, SpreadEngine, WalkRule
+from repro.graphs import random_regular_graph
+from repro.parallel import ShardTask
+
+RUNS = 40
+MAX_SHARD = 8  # several shards even at tiny run counts
+_CTX = mp.get_context("fork")
+
+
+def _graph():
+    return random_regular_graph(24, 4, rng=11)
+
+
+def _rules():
+    return {
+        "cobra": CobraRule(make_policy(2)),
+        "bips": BipsRule(make_policy(2), source=0),
+        "walk": WalkRule(k=2),
+    }
+
+
+def _initial_state(rule, n):
+    if isinstance(rule, WalkRule):
+        return np.zeros((RUNS, rule.k), dtype=np.int64)
+    state = np.zeros((RUNS, n), dtype=bool)
+    state[:, 0] = True
+    return state
+
+
+def _spawn_workers(address, count, **kw):
+    kw.setdefault("poll_interval", 0.05)
+    procs = [
+        _CTX.Process(
+            target=run_worker, args=(address,), kwargs=kw, daemon=True
+        )
+        for _ in range(count)
+    ]
+    for proc in procs:
+        proc.start()
+    return procs
+
+
+def _reap(procs):
+    for proc in procs:
+        proc.terminate()
+    for proc in procs:
+        proc.join(timeout=5)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """One broker plus two worker processes, shared by the matrix tests."""
+    with Broker(lease_timeout=15.0) as broker:
+        procs = _spawn_workers(broker.address, 2)
+        try:
+            yield broker
+        finally:
+            _reap(procs)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("name", ["cobra", "bips", "walk"])
+    @pytest.mark.parametrize("dynamic", [False, True], ids=["static", "dynamic"])
+    def test_matches_run_sharded_serial(self, fleet, name, dynamic):
+        graph = _graph()
+        topology = RewiringSequence(graph, 2, seed=77) if dynamic else graph
+        rule = _rules()[name]
+        engine = SpreadEngine(rule, topology)
+        state = _initial_state(rule, graph.n)
+        reference = engine.run_sharded(
+            state, 123, workers=1, track_hits=True, max_shard=MAX_SHARD
+        )
+        got = engine.run_distributed(
+            state,
+            123,
+            endpoint=fleet.address,
+            track_hits=True,
+            max_shard=MAX_SHARD,
+            cache=None,
+        )
+        assert got.rounds_run == reference.rounds_run
+        assert np.array_equal(got.finish_times, reference.finish_times)
+        assert np.array_equal(got.hit_times, reference.hit_times)
+        assert np.array_equal(got.final_state, reference.final_state)
+
+    def test_recorded_trajectories_identical(self, fleet):
+        graph = _graph()
+        engine = SpreadEngine(CobraRule(make_policy(2)), graph)
+        state = _initial_state(CobraRule(make_policy(2)), graph.n)
+        reference = engine.run_sharded(
+            state, 5, workers=1, record_sizes=True, record_visited=True,
+            max_shard=MAX_SHARD,
+        )
+        got = engine.run_distributed(
+            state, 5, endpoint=fleet.address, record_sizes=True,
+            record_visited=True, max_shard=MAX_SHARD, cache=None,
+        )
+        assert np.array_equal(got.sizes, reference.sizes)
+        assert np.array_equal(got.visited_counts, reference.visited_counts)
+
+    @pytest.mark.parametrize(
+        "sampler", [dynamic_cover_time_batch, dynamic_infection_time_batch]
+    )
+    def test_dynamic_factory_samplers(self, fleet, sampler, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        base = _graph()
+
+        def factory(topology_seed):
+            return RewiringSequence(base, 2, seed=topology_seed)
+
+        reference = sampler(factory, RUNS, seed=3, workers=1)
+        got = sampler(factory, RUNS, seed=3, endpoint=fleet.address)
+        assert np.array_equal(got, reference)
+
+    def test_cover_time_samples_endpoint(self, fleet, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        graph = _graph()
+        reference = cover_time_samples(graph, runs=RUNS, rng=9, workers=1)
+        got = cover_time_samples(
+            graph, runs=RUNS, rng=9, endpoint=fleet.address
+        )
+        assert np.array_equal(got, reference)
+
+
+def _stalling_worker(address):
+    """Lease one shard, then hold it without heartbeating (a dead worker
+    that keeps its TCP connection open, so only lease expiry frees the
+    shard)."""
+    sock = socket.create_connection(parse_endpoint(address), timeout=10)
+    while True:
+        send_frame(sock, {"type": "lease"})
+        message = recv_frame(sock)
+        if message is None:
+            return
+        if message.get("type") == "task":
+            time.sleep(600)
+        time.sleep(0.02)
+
+
+class TestFaultTolerance:
+    def test_killed_worker_shard_requeues_and_merge_is_bit_identical(self):
+        graph = _graph()
+        rule = CobraRule(make_policy(2))
+        engine = SpreadEngine(rule, graph)
+        state = _initial_state(rule, graph.n)
+        reference = engine.run_sharded(
+            state, 123, workers=1, track_hits=True, max_shard=MAX_SHARD
+        )
+        with Broker(lease_timeout=0.6) as broker:
+            staller = _CTX.Process(
+                target=_stalling_worker, args=(broker.address,), daemon=True
+            )
+            staller.start()
+
+            outcome = {}
+
+            def client():
+                outcome["result"] = engine.run_distributed(
+                    state,
+                    123,
+                    endpoint=broker.address,
+                    track_hits=True,
+                    max_shard=MAX_SHARD,
+                    cache=None,
+                )
+
+            thread = threading.Thread(target=client)
+            thread.start()
+            # Wait until the stalling worker holds a lease, then bring
+            # up the healthy pair that must absorb the requeue.
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if broker_status(broker.address).get("leased", 0) >= 1:
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("stalling worker never leased a shard")
+            healthy = _spawn_workers(broker.address, 2)
+            try:
+                thread.join(timeout=30)
+                assert not thread.is_alive(), "distributed job did not finish"
+            finally:
+                _reap(healthy + [staller])
+        got = outcome["result"]
+        assert np.array_equal(got.finish_times, reference.finish_times)
+        assert np.array_equal(got.hit_times, reference.hit_times)
+        assert np.array_equal(got.final_state, reference.final_state)
+
+    def test_abrupt_worker_death_disconnect_requeues(self):
+        # A worker that dies outright (connection drop) frees its shard
+        # immediately, without waiting for the lease to expire.
+        graph = _graph()
+        rule = CobraRule(make_policy(2))
+        engine = SpreadEngine(rule, graph)
+        state = _initial_state(rule, graph.n)
+        reference = engine.run_sharded(
+            state, 123, workers=1, max_shard=MAX_SHARD
+        )
+        with Broker(lease_timeout=30.0) as broker:
+            staller = _CTX.Process(
+                target=_stalling_worker, args=(broker.address,), daemon=True
+            )
+            staller.start()
+            outcome = {}
+
+            def client():
+                outcome["result"] = engine.run_distributed(
+                    state,
+                    123,
+                    endpoint=broker.address,
+                    max_shard=MAX_SHARD,
+                    cache=None,
+                )
+
+            thread = threading.Thread(target=client)
+            thread.start()
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if broker_status(broker.address).get("leased", 0) >= 1:
+                    break
+                time.sleep(0.02)
+            staller.kill()  # SIGKILL mid-shard: no goodbye, just EOF
+            healthy = _spawn_workers(broker.address, 2)
+            try:
+                thread.join(timeout=30)
+                assert not thread.is_alive()
+            finally:
+                _reap(healthy)
+        assert np.array_equal(
+            outcome["result"].finish_times, reference.finish_times
+        )
+
+    def test_poison_task_fails_job_after_max_attempts(self):
+        # A task whose execution always raises must fail the job with a
+        # diagnostic instead of looping forever.
+        graph = _graph()
+        rule = CobraRule(make_policy(2))
+        state = np.zeros((4, graph.n), dtype=bool)
+        state[:, 0] = True
+        good = ShardTask(
+            rule=rule,
+            topology=graph,
+            completion=SpreadEngine(rule, graph).completion,
+            state=state,
+            seed=np.random.SeedSequence(1),
+            max_rounds=5,
+        )
+        # Poison via an out-of-range BIPS source: decode succeeds but
+        # stepping raises IndexError in the worker.
+        poison = ShardTask(
+            rule=BipsRule(make_policy(2), source=graph.n + 7),
+            topology=graph,
+            completion=good.completion,
+            state=state,
+            seed=np.random.SeedSequence(2),
+            max_rounds=5,
+        )
+        with Broker(lease_timeout=5.0, max_attempts=2) as broker:
+            procs = _spawn_workers(broker.address, 1)
+            try:
+                with pytest.raises(DistributedError, match="failed"):
+                    execute_shards_remote(
+                        [good, poison], broker.address, cache=None
+                    )
+            finally:
+                _reap(procs)
+
+
+class TestBrokerHousekeeping:
+    def test_broker_survives_garbage_frames(self):
+        # A port scanner's HTTP probe must not kill the broker: the
+        # bogus length prefix is rejected, the connection dropped, and
+        # the next well-formed client served normally.
+        with Broker(lease_timeout=5.0) as broker:
+            probe = socket.create_connection(
+                parse_endpoint(broker.address), timeout=5
+            )
+            probe.sendall(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+            probe.close()
+            # A structurally-valid frame with a missing field likewise.
+            partial = socket.create_connection(
+                parse_endpoint(broker.address), timeout=5
+            )
+            send_frame(partial, {"type": "complete"})  # no shard_id
+            partial.close()
+            assert broker_status(broker.address)["jobs"] == 0
+
+
+    def test_uncollected_job_is_reaped_after_ttl(self):
+        # A client that submits and vanishes must not pin the job's
+        # payloads and results in broker memory past job_ttl.
+        graph = _graph()
+        rule = CobraRule(make_policy(2))
+        engine = SpreadEngine(rule, graph)
+        state = _initial_state(rule, graph.n)
+        with Broker(
+            lease_timeout=15.0, sweep_interval=0.05, job_ttl=0.3
+        ) as broker:
+            procs = _spawn_workers(broker.address, 1)
+            try:
+                from repro.distributed.wire import encode_task
+                from repro.parallel import plan_shards
+                from repro.stats import spawn_seeds
+
+                sizes = plan_shards(rule, RUNS, graph.n, max_shard=MAX_SHARD)
+                seeds = spawn_seeds(np.random.SeedSequence(1), len(sizes))
+                tasks, lo = [], 0
+                for size, seed in zip(sizes, seeds):
+                    tasks.append(
+                        ShardTask(
+                            rule=rule,
+                            topology=graph,
+                            completion=engine.completion,
+                            state=state[lo : lo + size],
+                            seed=seed,
+                        )
+                    )
+                    lo += size
+                # Submit without ever waiting, then abandon.
+                sock = socket.create_connection(
+                    parse_endpoint(broker.address), timeout=10
+                )
+                send_frame(
+                    sock,
+                    {
+                        "type": "submit",
+                        "job_id": "abandoned",
+                        "tasks": [
+                            {"index": i, "task": encode_task(t)}
+                            for i, t in enumerate(tasks)
+                        ],
+                    },
+                )
+                assert recv_frame(sock)["type"] == "accepted"
+                sock.close()
+                deadline = time.monotonic() + 20
+                while time.monotonic() < deadline:
+                    counts = broker_status(broker.address)
+                    if counts["jobs"] == 0 and counts["done"] == 0:
+                        break
+                    time.sleep(0.05)
+                else:
+                    pytest.fail(f"abandoned job never reaped: {counts}")
+            finally:
+                _reap(procs)
+
+
+class TestCacheIntegration:
+    def test_warm_cache_serves_without_broker(self, tmp_path):
+        graph = _graph()
+        rule = CobraRule(make_policy(2))
+        engine = SpreadEngine(rule, graph)
+        state = _initial_state(rule, graph.n)
+        cache = ResultCache(tmp_path)
+        with Broker(lease_timeout=15.0) as broker:
+            procs = _spawn_workers(broker.address, 2)
+            try:
+                first = engine.run_distributed(
+                    state, 123, endpoint=broker.address,
+                    max_shard=MAX_SHARD, cache=cache,
+                )
+            finally:
+                _reap(procs)
+            address = broker.address
+        assert len(cache) > 0
+        # The broker is gone; a fully-cached rerun must not even dial.
+        second = engine.run_distributed(
+            state, 123, endpoint=address, max_shard=MAX_SHARD, cache=cache
+        )
+        assert np.array_equal(second.finish_times, first.finish_times)
+        assert np.array_equal(second.final_state, first.final_state)
+
+    def test_cold_cache_against_dead_broker_raises(self, tmp_path):
+        graph = _graph()
+        rule = CobraRule(make_policy(2))
+        engine = SpreadEngine(rule, graph)
+        state = _initial_state(rule, graph.n)
+        with Broker() as broker:
+            address = broker.address
+        with pytest.raises(DistributedError, match="cannot reach broker"):
+            engine.run_distributed(
+                state, 1, endpoint=address, max_shard=MAX_SHARD,
+                cache=ResultCache(tmp_path),
+            )
+
+    def test_cache_key_sensitivity_causes_recompute(self, tmp_path):
+        # Same everything but the seed: the second run must miss.
+        graph = _graph()
+        rule = CobraRule(make_policy(2))
+        engine = SpreadEngine(rule, graph)
+        state = _initial_state(rule, graph.n)
+        cache = ResultCache(tmp_path)
+        with Broker(lease_timeout=15.0) as broker:
+            procs = _spawn_workers(broker.address, 2)
+            try:
+                engine.run_distributed(
+                    state, 123, endpoint=broker.address,
+                    max_shard=MAX_SHARD, cache=cache,
+                )
+                before = len(cache)
+                engine.run_distributed(
+                    state, 124, endpoint=broker.address,
+                    max_shard=MAX_SHARD, cache=cache,
+                )
+            finally:
+                _reap(procs)
+        assert len(cache) == 2 * before

@@ -80,6 +80,40 @@ class TestLifecycle:
         with pytest.raises(FileNotFoundError):
             shared_memory.SharedMemory(name=name)
 
+    def test_unlink_is_idempotent(self):
+        handle = petersen_graph().to_shared()
+        handle.unlink()
+        handle.unlink()  # second unlink: silent no-op
+        handle.close()
+
+    def test_close_after_unlink_is_silent(self):
+        # The run_sharded teardown order: unlink through the live
+        # creator handle first, then close — and a stray extra close.
+        handle = petersen_graph().to_shared()
+        handle.unlink()
+        handle.close()
+        handle.close()
+        handle.unlink()  # and a stray extra unlink after close
+
+    def test_unlink_after_close_twice_is_silent(self):
+        # close() drops the local handle, so the first unlink goes
+        # through an untracked re-attach; the second must not raise
+        # FileNotFoundError on the now-destroyed segment.
+        handle = petersen_graph().to_shared()
+        handle.close()
+        handle.unlink()
+        handle.unlink()
+
+    def test_unlink_survives_external_destruction(self):
+        # Another process (here: a second handle) already destroyed the
+        # segment; the creator's unlink must degrade to a no-op.
+        handle = petersen_graph().to_shared()
+        clone = pickle.loads(pickle.dumps(handle))
+        handle.close()
+        clone.unlink()
+        handle.unlink()
+        clone.close()
+
     def test_attached_clone_does_not_unlink_on_exit(self):
         # A pickled (non-owner) handle used as a context manager only
         # closes; the creator still owns the segment.

@@ -101,6 +101,32 @@ class TestWorkerCountInvariance:
         assert np.array_equal(np.concatenate(times), sharded.finish_times)
 
 
+class TestCompletionSchedule:
+    @pytest.mark.parametrize("name", ["cobra", "bips", "walk"])
+    def test_completion_schedule_identical_to_static(self, name):
+        # imap_unordered dispatch re-keys results by shard index, so
+        # the two schedules must be observably identical.
+        graph = _graph()
+        rule = _rules()[name]
+        engine = SpreadEngine(rule, graph)
+        state = _initial_state(rule, graph.n)
+        static = engine.run_sharded(
+            state, 123, workers=1, track_hits=True, max_shard=MAX_SHARD
+        )
+        stolen = engine.run_sharded(
+            state,
+            123,
+            workers=3,
+            track_hits=True,
+            max_shard=MAX_SHARD,
+            schedule="completion",
+        )
+        assert stolen.rounds_run == static.rounds_run
+        assert np.array_equal(stolen.finish_times, static.finish_times)
+        assert np.array_equal(stolen.hit_times, static.hit_times)
+        assert np.array_equal(stolen.final_state, static.final_state)
+
+
 class TestTrajectoryMerging:
     def test_recorded_series_identical_and_padded(self):
         graph = _graph()
@@ -166,9 +192,40 @@ class TestPlanAndErrors:
     def test_execute_shards_empty(self):
         assert execute_shards([], workers=4) == []
 
-    def test_merge_requires_results(self):
-        with pytest.raises(ValueError):
-            merge_shard_results([])
+    def test_merge_of_nothing_is_wellformed_empty(self):
+        res = merge_shard_results([])
+        assert res.finish_times.shape == (0,)
+        assert res.rounds_run == 0
+        assert res.final_state.shape[0] == 0
+        assert res.all_finished  # vacuously: no capped runs
+
+    def test_zero_runs_plan_and_run(self):
+        rule = CobraRule(make_policy(2))
+        assert plan_shards(rule, 0, 64) == []
+        graph = _graph()
+        state = np.zeros((0, graph.n), dtype=bool)
+        res = run_sharded(
+            rule, graph, "all-vertices", state, 1, track_hits=True
+        )
+        assert res.finish_times.shape == (0,)
+        assert res.final_state.shape == (0, graph.n)
+        assert res.hit_times.shape == (0, graph.n)
+        assert res.rounds_run == 0
+
+    def test_fewer_shards_than_workers(self):
+        # A 2-shard plan run under 8 workers must clamp the pool and
+        # still merge a complete, reference-identical result.
+        graph = _graph()
+        rule = _rules()["cobra"]
+        engine = SpreadEngine(rule, graph)
+        state = _initial_state(rule, graph.n)
+        reference = engine.run_sharded(state, 123, workers=1, max_shard=20)
+        got = engine.run_sharded(state, 123, workers=8, max_shard=20)
+        assert np.array_equal(got.finish_times, reference.finish_times)
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError, match="schedule"):
+            execute_shards([], workers=2, schedule="sorted")
 
     def test_single_task_serial_even_with_many_workers(self):
         # min(workers, tasks) == 1 must not spin up a pool: verified by

@@ -25,6 +25,7 @@ class TestTopLevelApi:
     def test_subpackages_importable(self):
         import repro.baselines
         import repro.core
+        import repro.distributed
         import repro.dynamics
         import repro.engine
         import repro.experiments
@@ -36,6 +37,7 @@ class TestTopLevelApi:
         for mod in (
             repro.baselines,
             repro.core,
+            repro.distributed,
             repro.dynamics,
             repro.engine,
             repro.experiments,
