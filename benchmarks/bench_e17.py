@@ -1,0 +1,15 @@
+"""Benchmark: adversarial worst-case cover sweep (experiment E17).
+
+Regenerates the experiment's table(s) under timing and asserts its
+shape criteria (see DESIGN.md experiment index).
+"""
+
+from conftest import run_and_check
+
+
+def test_bench_e17(benchmark):
+    result = benchmark.pedantic(
+        run_and_check, args=("E17",), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.all_passed
+    assert result.tables

@@ -1,0 +1,173 @@
+"""Mutable topology state handed to adversary policies.
+
+An :class:`~repro.adversary.AdversarialSequence` owns three pieces of
+state — the current edge rows, the parallel-edge key set, and the
+active-vertex mask.  :class:`MutableTopology` wraps *references* to all
+three so a policy's mutations are visible to the sequence, and bundles
+the operations every policy needs:
+
+* validated double-edge-swap replacement with an undo token (so a
+  policy can retract a swap that disconnects the graph),
+* connectivity / component queries on the **active-induced** subgraph
+  (departed vertices keep their edge rows but do not count),
+* frontier-degree counting against an observed mask.
+
+Everything here is exact integer bookkeeping — no randomness — so a
+policy's effect is a pure function of (topology state, digest, the
+draws it takes from the round generator).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MutableTopology"]
+
+
+class MutableTopology:
+    """In-place view of an adversarial sequence's topology state.
+
+    Parameters
+    ----------
+    n:
+        Vertex count.
+    edges:
+        ``(m, 2)`` int64 edge rows — mutated in place.
+    keys:
+        Set of ``lo * n + hi`` edge keys mirroring ``edges`` — mutated
+        in place.
+    active:
+        ``(n,)`` boolean active-vertex mask — mutated in place.
+    """
+
+    __slots__ = ("n", "edges", "keys", "active")
+
+    def __init__(
+        self, n: int, edges: np.ndarray, keys: set, active: np.ndarray
+    ) -> None:
+        self.n = int(n)
+        self.edges = edges
+        self.keys = keys
+        self.active = active
+
+    # -- keys -----------------------------------------------------------
+    def edge_key(self, u: int, v: int) -> int:
+        """The canonical ``lo * n + hi`` key of an undirected edge."""
+        lo, hi = (u, v) if u <= v else (v, u)
+        return int(lo) * self.n + int(hi)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff the (undirected) edge is currently present."""
+        return self.edge_key(u, v) in self.keys
+
+    # -- swaps ----------------------------------------------------------
+    def replace_pair(self, i: int, j: int, e1, e2):
+        """Replace edge rows ``i`` / ``j`` with ``e1`` / ``e2``.
+
+        The proposal is rejected (returns None, state untouched) if it
+        creates a self-loop or a parallel edge, or if it is the
+        identity.  On success the rows and keys are updated and an
+        opaque undo token is returned for :meth:`undo`.
+        """
+        if i == j:
+            return None
+        a1, b1 = (int(e1[0]), int(e1[1]))
+        a2, b2 = (int(e2[0]), int(e2[1]))
+        if a1 == b1 or a2 == b2:
+            return None  # self-loop
+        old_i = (int(self.edges[i, 0]), int(self.edges[i, 1]))
+        old_j = (int(self.edges[j, 0]), int(self.edges[j, 1]))
+        k1 = self.edge_key(a1, b1)
+        k2 = self.edge_key(a2, b2)
+        o1 = self.edge_key(*old_i)
+        o2 = self.edge_key(*old_j)
+        if {k1, k2} == {o1, o2}:
+            return None  # identity proposal
+        self.keys.discard(o1)
+        self.keys.discard(o2)
+        if k1 == k2 or k1 in self.keys or k2 in self.keys:
+            self.keys.add(o1)
+            self.keys.add(o2)
+            return None  # parallel edge
+        self.keys.add(k1)
+        self.keys.add(k2)
+        self.edges[i] = (min(a1, b1), max(a1, b1))
+        self.edges[j] = (min(a2, b2), max(a2, b2))
+        return (i, j, old_i, old_j, k1, k2, o1, o2)
+
+    def undo(self, token) -> None:
+        """Retract a successful :meth:`replace_pair`."""
+        i, j, old_i, old_j, k1, k2, o1, o2 = token
+        self.keys.discard(k1)
+        self.keys.discard(k2)
+        self.keys.add(o1)
+        self.keys.add(o2)
+        self.edges[i] = old_i
+        self.edges[j] = old_j
+
+    def commit_edges(self, edges: np.ndarray, keys: set) -> None:
+        """Adopt a whole proposed edge state (in place, same arrays)."""
+        self.edges[:] = edges
+        self.keys.clear()
+        self.keys.update(keys)
+
+    # -- activity -------------------------------------------------------
+    def deactivate(self, vertices) -> None:
+        """Churn vertices out (their edge rows stay, filtered at build)."""
+        self.active[np.asarray(list(vertices), dtype=np.int64)] = False
+
+    def reactivate(self, vertices) -> None:
+        """Readmit churned-out vertices."""
+        self.active[np.asarray(list(vertices), dtype=np.int64)] = True
+
+    def _live_edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """Endpoint columns of edges with both endpoints active."""
+        e = self.edges
+        keep = self.active[e[:, 0]] & self.active[e[:, 1]]
+        return e[keep, 0], e[keep, 1]
+
+    # -- queries --------------------------------------------------------
+    def component_of(self, start: int) -> np.ndarray:
+        """Boolean mask of ``start``'s component in the active subgraph."""
+        seen = np.zeros(self.n, dtype=bool)
+        if not self.active[start]:
+            return seen
+        u, v = self._live_edges()
+        seen[start] = True
+        while True:
+            su, sv = seen[u], seen[v]
+            fwd = su & ~sv
+            bwd = sv & ~su
+            if not (fwd.any() or bwd.any()):
+                return seen
+            seen[v[fwd]] = True
+            seen[u[bwd]] = True
+
+    def connected(self) -> bool:
+        """Is the active-induced subgraph connected? (Vacuously True
+        with at most one active vertex.)"""
+        idx = np.nonzero(self.active)[0]
+        if idx.size <= 1:
+            return True
+        comp = self.component_of(int(idx[0]))
+        return bool(comp[self.active].all())
+
+    def active_degrees(self) -> np.ndarray:
+        """Per-vertex degree in the active-induced subgraph."""
+        deg = np.zeros(self.n, dtype=np.int64)
+        u, v = self._live_edges()
+        np.add.at(deg, u, 1)
+        np.add.at(deg, v, 1)
+        return deg
+
+    def frontier_degrees(self, mask: np.ndarray) -> np.ndarray:
+        """Per-vertex count of active neighbours inside ``mask``.
+
+        The greedy-isolation score: a vertex with many neighbours in
+        the observed frontier is the most valuable one to churn out.
+        """
+        deg = np.zeros(self.n, dtype=np.int64)
+        u, v = self._live_edges()
+        np.add.at(deg, u, mask[v].astype(np.int64))
+        np.add.at(deg, v, mask[u].astype(np.int64))
+        return deg

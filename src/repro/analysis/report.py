@@ -151,6 +151,19 @@ PAPER_CLAIMS: dict[str, PaperClaim] = {
         "sample-for-sample; dynamic expander means stay within 3× "
         "static; the top-rate cycle mean drops below 0.9× static.",
     ),
+    "E17": PaperClaim(
+        anchor="Extension: adversarial dynamics (not a paper table)",
+        claim="E16's topologies evolve obliviously; the worst case is "
+        "an adaptive adversary rewiring against the observed frontier. "
+        "A budgeted greedy cut severing frontier→uninformed edges "
+        "(degree- and connectivity-preserving) slows COBRA cover "
+        "monotonically in its budget, and the budget-0 adversary is "
+        "the oblivious baseline itself.",
+        shape_criterion="Budget-0 samples equal the oblivious rewiring "
+        "samples bit-for-bit; mean cover is non-decreasing in the "
+        "budget (small sampling slack) with the top budget ≥ 1.25× "
+        "oblivious on the expander and the torus.",
+    ),
 }
 
 

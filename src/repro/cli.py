@@ -6,8 +6,10 @@ Subcommands::
     repro run E1 [--scale quick] [--seed N]   # run one experiment
     repro run all [--scale smoke]             # run the whole suite
     repro graph-info hypercube-7              # structural + spectral summary
+    repro adversary --kind greedy-cut --budget 8   # worst-case dynamic cover
     repro broker --port 7603                  # shard-queue broker
     repro worker 127.0.0.1:7603               # worker attached to a broker
+    repro status 127.0.0.1:7603               # broker queue counters
 
 Experiment output is the table(s) plus the pass/fail shape checks from
 DESIGN.md.  ``cover`` / ``trajectory`` / ``dynamics`` accept
@@ -177,6 +179,90 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the shards on a 'repro broker' worker fleet, each remote "
         "worker re-realising its shard's sequence from the wire-encoded "
         "seed (ignored with --independent)",
+    )
+
+    adv_p = sub.add_parser(
+        "adversary",
+        help="measure worst-case cover/infection against an adaptive "
+        "adversary rewiring against the observed frontier",
+    )
+    adv_p.add_argument(
+        "--family",
+        choices=("expander", "cycle", "complete", "torus"),
+        default="expander",
+        help="base-graph family (expander = random 4-regular)",
+    )
+    adv_p.add_argument("--n", type=int, default=64, help="base-graph size")
+    adv_p.add_argument(
+        "--kind",
+        choices=("greedy-cut", "isolating-churn", "moving-source", "adaptive-rri"),
+        default="greedy-cut",
+        help="adversary policy (see repro.adversary)",
+    )
+    adv_p.add_argument(
+        "--budget",
+        type=int,
+        default=8,
+        help="edges the adversary may rewire (or vertices it may churn) "
+        "per round; 0 replays the oblivious baseline bit-for-bit",
+    )
+    adv_p.add_argument(
+        "--rate",
+        type=float,
+        default=0.1,
+        help="oblivious double-edge-swap rate underneath the adversary "
+        "(fraction of edges attempted per round; 0 = adversary only)",
+    )
+    adv_p.add_argument(
+        "--process", choices=("cobra", "bips"), default="cobra",
+        help="cobra: cover times; bips: infection times "
+        "(moving-source targets the bips source)",
+    )
+    adv_p.add_argument("--runs", type=int, default=20)
+    adv_p.add_argument("--branching", type=float, default=2.0)
+    adv_p.add_argument("--lazy", action="store_true")
+    adv_p.add_argument("--seed", type=int, default=0)
+    adv_p.add_argument(
+        "--completion",
+        choices=("all-vertices", "all-active"),
+        default="all-vertices",
+        help="completion criterion (all-active recommended with "
+        "isolating-churn, which removes vertices mid-run)",
+    )
+    adv_p.add_argument(
+        "--batched",
+        action="store_true",
+        help="advance all runs on shared per-shard realisations (the "
+        "batched engine; enables --workers/--endpoint) instead of the "
+        "default per-run loop, where the adversary fights each run's "
+        "own frontier — the worst-case statistic E17 reports",
+    )
+    adv_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="with --batched: shard the runs over this many worker "
+        "processes (each shard realises its own adversarial sequence "
+        "from a spawned seed; results identical at any count)",
+    )
+    adv_p.add_argument(
+        "--endpoint",
+        default=None,
+        metavar="HOST:PORT",
+        help="with --batched: run the shards on a 'repro broker' worker "
+        "fleet — adversarial sequences ship as seeded replay specs and "
+        "the samples stay bit-identical to local execution",
+    )
+
+    status_p = sub.add_parser(
+        "status", help="query a broker's shard-queue counters"
+    )
+    status_p.add_argument("endpoint", help="broker endpoint, host:port")
+    status_p.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="seconds to wait for the broker before giving up",
     )
 
     broker_p = sub.add_parser(
@@ -519,6 +605,116 @@ def _cmd_dynamics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_adversary(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .adversary import AdversarialSequence, make_adversary
+    from .dynamics import (
+        dynamic_cover_time_batch,
+        dynamic_cover_time_samples,
+        dynamic_infection_time_batch,
+        dynamic_infection_time_samples,
+    )
+    from .stats import mean_ci, whp_quantile
+
+    if not 0.0 <= args.rate <= 1.0:
+        raise SystemExit("--rate must be in [0, 1]")
+    if args.budget < 0:
+        raise SystemExit("--budget must be >= 0")
+    if args.runs < 1:
+        raise SystemExit("--runs must be >= 1")
+    if not args.batched and (args.workers is not None or args.endpoint is not None):
+        raise SystemExit("--workers/--endpoint require --batched")
+    try:
+        base = _dynamics_base_graph(args)
+    except ValueError as exc:
+        raise SystemExit(f"cannot build a {args.family} base graph: {exc}")
+    swaps = max(1, round(args.rate * base.m)) if args.rate > 0 else 0
+    if base.m < 2:
+        raise SystemExit("adversarial rewiring needs at least two edges")
+
+    def factory(topology_seed):
+        return AdversarialSequence(
+            base,
+            make_adversary(args.kind, args.budget),
+            topology_seed,
+            swaps_per_round=swaps,
+        )
+
+    extra = {}
+    if args.batched:
+        sample_cover = dynamic_cover_time_batch
+        sample_infec = dynamic_infection_time_batch
+        mode = "batched (R, n) engine, shard-local adversarial realisations"
+        if args.workers is not None:
+            extra["workers"] = args.workers
+            mode = f"sharded (R, n) engine, {args.workers} workers"
+        if args.endpoint is not None:
+            extra["endpoint"] = args.endpoint
+            mode = f"distributed (R, n) engine via broker {args.endpoint}"
+    else:
+        sample_cover = dynamic_cover_time_samples
+        sample_infec = dynamic_infection_time_samples
+        mode = "per-run loop (adversary fights each run's own frontier)"
+    try:
+        if args.process == "cobra":
+            samples = sample_cover(
+                factory,
+                args.runs,
+                branching=args.branching,
+                lazy=args.lazy,
+                seed=args.seed,
+                completion=args.completion,
+                **extra,
+            )
+            measured = "cover time"
+        else:
+            samples = sample_infec(
+                factory,
+                args.runs,
+                branching=args.branching,
+                lazy=args.lazy,
+                seed=args.seed,
+                completion=args.completion,
+                **extra,
+            )
+            measured = "infection time"
+    except RuntimeError as exc:
+        raise SystemExit(
+            f"{exc}\nhint: a harsh adversary can push runs past the round "
+            "cap — lower --budget, or pass --completion all-active for "
+            "churn-style adversaries"
+        )
+    stat_rng = np.random.default_rng(args.seed)
+    print(
+        f"adversarial {args.process.upper()} on {base!r}\n"
+        f"  adversary : {args.kind} (budget {args.budget}/round)\n"
+        f"  oblivious : {swaps} double-edge swaps/round (rate {args.rate:g})\n"
+        f"  execution : {mode}\n"
+        f"  runs={args.runs} b={args.branching:g} lazy={args.lazy} "
+        f"seed={args.seed} completion={args.completion}"
+    )
+    print(f"  mean {measured:14}: {mean_ci(samples)}")
+    print(f"  95th percentile    : {whp_quantile(samples, rng=stat_rng)}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .distributed import DistributedError, broker_status
+
+    try:
+        counts = broker_status(args.endpoint, timeout=args.timeout)
+    except DistributedError as exc:
+        print(f"cannot query broker at {args.endpoint}: {exc}", file=sys.stderr)
+        return 1
+    print(f"broker {args.endpoint}")
+    for key in ("jobs", "pending", "leased", "done", "failed"):
+        print(f"  {key:8}: {counts.get(key, 0)}")
+    for key in sorted(set(counts) - {"jobs", "pending", "leased", "done", "failed"}):
+        print(f"  {key:8}: {counts[key]}")
+    return 0
+
+
 def _cmd_broker(args: argparse.Namespace) -> int:
     from .distributed import Broker
 
@@ -576,6 +772,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trajectory(args)
     if args.command == "dynamics":
         return _cmd_dynamics(args)
+    if args.command == "adversary":
+        return _cmd_adversary(args)
+    if args.command == "status":
+        return _cmd_status(args)
     if args.command == "broker":
         return _cmd_broker(args)
     if args.command == "worker":

@@ -28,7 +28,12 @@ arrival order, or mid-run worker death.
 """
 
 from .broker import Broker, ShardLedger, ShardRecord
-from .cache import CACHE_ENV_VAR, ResultCache, resolve_cache
+from .cache import (
+    CACHE_ENV_VAR,
+    CACHE_MAX_BYTES_ENV_VAR,
+    ResultCache,
+    resolve_cache,
+)
 from .client import (
     DistributedError,
     broker_status,
@@ -52,6 +57,7 @@ __all__ = [
     "ShardLedger",
     "ShardRecord",
     "CACHE_ENV_VAR",
+    "CACHE_MAX_BYTES_ENV_VAR",
     "ResultCache",
     "resolve_cache",
     "DistributedError",

@@ -14,6 +14,13 @@ so concurrent clients never observe torn entries.  The default root is
 ``~/.cache/repro/results``, overridable through the
 ``REPRO_CACHE_DIR`` environment variable (set it to ``off``, ``0`` or
 the empty string to disable caching entirely).
+
+The cache is bounded: ``REPRO_CACHE_MAX_BYTES`` (or the ``max_bytes``
+constructor argument) caps the total size of stored entries, enforced
+by LRU eviction ordered on file access times — every :meth:`get` hit
+bumps the entry's ``atime`` explicitly, so eviction order is correct
+even on ``noatime``/``relatime`` mounts.  Unset (or ``0``/empty) means
+unbounded, the historical behaviour.
 """
 
 from __future__ import annotations
@@ -25,20 +32,60 @@ from pathlib import Path
 
 from .wire import canonical_bytes, decode_result, encode_result
 
-__all__ = ["ResultCache", "resolve_cache", "CACHE_ENV_VAR"]
+__all__ = [
+    "ResultCache",
+    "resolve_cache",
+    "CACHE_ENV_VAR",
+    "CACHE_MAX_BYTES_ENV_VAR",
+]
 
 #: Environment variable naming the cache root (or disabling the cache).
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
 
+#: Environment variable bounding the cache's total size in bytes
+#: (LRU-evicted on overflow); unset/empty/0 leaves it unbounded.
+CACHE_MAX_BYTES_ENV_VAR = "REPRO_CACHE_MAX_BYTES"
+
 
 class ResultCache:
-    """A directory of shard results keyed by canonical task digest."""
+    """A directory of shard results keyed by canonical task digest.
 
-    def __init__(self, root) -> None:
+    ``max_bytes`` bounds the total stored size with atime-ordered LRU
+    eviction; the default sentinel ``"env"`` reads
+    :data:`CACHE_MAX_BYTES_ENV_VAR`, and ``None`` (or 0) disables the
+    bound.
+    """
+
+    def __init__(self, root, *, max_bytes: "int | None | str" = "env") -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        if max_bytes == "env":
+            max_bytes = self._env_max_bytes()
+        self.max_bytes = int(max_bytes) if max_bytes else None
+        if self.max_bytes is not None and self.max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 (or None for unbounded)")
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        # Approximate store size, seeded by one scan on the first
+        # bounded put and then maintained incrementally, so a put only
+        # pays the full directory scan when the bound is actually
+        # exceeded (concurrent writers drift the estimate upward at
+        # worst, which just triggers an early re-synchronising scan).
+        self._stored_bytes: int | None = None
+
+    @staticmethod
+    def _env_max_bytes() -> "int | None":
+        env = os.environ.get(CACHE_MAX_BYTES_ENV_VAR, "").strip()
+        if not env or env == "0":
+            return None
+        try:
+            return int(env)
+        except ValueError:
+            raise ValueError(
+                f"{CACHE_MAX_BYTES_ENV_VAR} must be an integer byte count, "
+                f"got {env!r}"
+            ) from None
 
     @staticmethod
     def default_root() -> Path | None:
@@ -79,6 +126,12 @@ class ResultCache:
         except (OSError, ValueError, KeyError):
             self.misses += 1
             return None
+        # Bump the access time explicitly: LRU eviction orders on
+        # atime, which relatime/noatime mounts would otherwise freeze.
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # entry raced away or read-only store: still a hit
         self.hits += 1
         return result
 
@@ -87,7 +140,9 @@ class ResultCache:
 
         Atomic: the entry is written to a unique temp file and renamed
         into place, so concurrent writers race harmlessly (all copies
-        are byte-identical by the determinism contract).
+        are byte-identical by the determinism contract).  With a
+        ``max_bytes`` bound, least-recently-used entries are evicted
+        until the store fits (the fresh entry is never evicted).
         """
         obj = result if isinstance(result, dict) else encode_result(result)
         path = self.path_for(key)
@@ -95,7 +150,64 @@ class ResultCache:
         tmp = path.parent / f".{key}.{os.getpid()}.{threading.get_ident()}.tmp"
         tmp.write_bytes(canonical_bytes(obj))
         os.replace(tmp, path)
+        if self.max_bytes is not None:
+            if self._stored_bytes is None:
+                self._stored_bytes = self.total_bytes()
+            else:
+                try:
+                    self._stored_bytes += path.stat().st_size
+                except OSError:
+                    pass
+            if self._stored_bytes > self.max_bytes:
+                self._evict(keep=path)
         return path
+
+    def total_bytes(self) -> int:
+        """Total size of the stored entries, in bytes."""
+        return sum(self._entries_by_atime(keep=None)[1])
+
+    def _entries_by_atime(self, keep):
+        """Entries (oldest atime first) and their sizes, skipping ``keep``."""
+        entries = []
+        sizes = []
+        for path in self.root.glob("*/*.json"):
+            if keep is not None and path == keep:
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # raced away under a concurrent eviction
+            entries.append((stat.st_atime, path, stat.st_size))
+        entries.sort(key=lambda item: item[0])
+        sizes = [size for _, _, size in entries]
+        return entries, sizes
+
+    def _evict(self, keep: Path) -> None:
+        """Drop LRU entries until the store fits ``max_bytes``.
+
+        ``keep`` (the entry just written) is exempt, so a single result
+        larger than the whole bound still caches rather than thrashing.
+        The scan also re-synchronises the incremental size estimate.
+        """
+        try:
+            keep_size = keep.stat().st_size
+        except OSError:
+            keep_size = 0
+        budget = max(0, self.max_bytes - keep_size)
+        entries, sizes = self._entries_by_atime(keep=keep)
+        remaining = sum(sizes)
+        excess = remaining - budget
+        for _, path, size in entries:
+            if excess <= 0:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue  # concurrent eviction got there first
+            excess -= size
+            remaining -= size
+            self.evictions += 1
+        self._stored_bytes = remaining + keep_size
 
     def __contains__(self, key: str) -> bool:
         """True iff an entry for ``key`` exists on disk."""

@@ -242,6 +242,98 @@ def _decode_completion(obj: dict):
 
 
 # ----------------------------------------------------------------------
+# Adversary policies (repro.adversary)
+# ----------------------------------------------------------------------
+def _encode_adversary(policy) -> dict:
+    """Encode an adversary policy as its pristine constructor spec.
+
+    Replay-derived state (churn clocks, growth trackers) is
+    deliberately dropped: the wire ships a *replay spec*, and the
+    remote engine regenerates the identical digest stream that
+    rebuilds that state round by round.
+    """
+    from ..adversary.policies import (
+        AdaptiveRRIPolicy,
+        GreedyCutAdversary,
+        IsolatingChurnAdversary,
+        MovingSourceAdversary,
+    )
+
+    if isinstance(policy, GreedyCutAdversary):
+        return {
+            "kind": "greedy-cut",
+            "budget": int(policy.budget),
+            "keep_connected": bool(policy.keep_connected),
+        }
+    if isinstance(policy, IsolatingChurnAdversary):
+        return {
+            "kind": "isolating-churn",
+            "budget": int(policy.budget),
+            "downtime": int(policy.downtime),
+            "protected": [int(p) for p in policy.protected],
+            "keep_connected": bool(policy.keep_connected),
+            "initially_out": [int(p) for p in policy.initially_out],
+        }
+    if isinstance(policy, MovingSourceAdversary):
+        return {
+            "kind": "moving-source",
+            "source": int(policy.source),
+            "budget": int(policy.budget),
+            "trigger": float(policy.trigger),
+            "keep_connected": bool(policy.keep_connected),
+        }
+    if isinstance(policy, AdaptiveRRIPolicy):
+        return {
+            "kind": "adaptive-rri",
+            "burst_swaps": int(policy.burst_swaps),
+            "growth_threshold": float(policy.growth_threshold),
+            "keep_connected": bool(policy.keep_connected),
+            "max_retries": int(policy.max_retries),
+        }
+    raise TypeError(
+        f"adversary policy {type(policy).__name__} is not wire-encodable"
+    )
+
+
+def _decode_adversary(obj: dict):
+    from ..adversary.policies import (
+        AdaptiveRRIPolicy,
+        GreedyCutAdversary,
+        IsolatingChurnAdversary,
+        MovingSourceAdversary,
+    )
+
+    kind = obj["kind"]
+    if kind == "greedy-cut":
+        return GreedyCutAdversary(
+            int(obj["budget"]), keep_connected=obj["keep_connected"]
+        )
+    if kind == "isolating-churn":
+        return IsolatingChurnAdversary(
+            int(obj["budget"]),
+            downtime=int(obj["downtime"]),
+            protected=tuple(int(p) for p in obj["protected"]),
+            keep_connected=obj["keep_connected"],
+            initially_out=tuple(int(p) for p in obj["initially_out"]),
+        )
+    if kind == "moving-source":
+        return MovingSourceAdversary(
+            int(obj["source"]),
+            int(obj["budget"]),
+            trigger=float(obj["trigger"]),
+            keep_connected=obj["keep_connected"],
+        )
+    if kind == "adaptive-rri":
+        return AdaptiveRRIPolicy(
+            int(obj["burst_swaps"]),
+            growth_threshold=float(obj["growth_threshold"]),
+            keep_connected=obj["keep_connected"],
+            max_retries=int(obj["max_retries"]),
+        )
+    raise ValueError(f"unknown adversary policy kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
 # Topologies
 # ----------------------------------------------------------------------
 def _encode_graph(graph: Graph) -> dict:
@@ -265,6 +357,7 @@ def _decode_graph(obj: dict) -> Graph:
 
 
 def _encode_topology(topology) -> dict:
+    from ..adversary.sequence import AdversarialSequence
     from ..dynamics.providers import (
         ChurnSequence,
         EdgeMarkovianSequence,
@@ -309,14 +402,31 @@ def _encode_topology(topology) -> dict:
             "protected": np.nonzero(topology._protected)[0].tolist(),
             "seed": _encode_seed(topology._master),
         }
+    if isinstance(topology, AdversarialSequence):
+        # A seeded replay spec: constructor parameters + master seed
+        # (spawn counter dropped by _encode_seed) + the adversary's
+        # pristine spec.  The remote engine re-delivers the identical
+        # observation stream, so the decoded sequence realises the
+        # identical adversarial topology — however far the sender's
+        # copy had already advanced.
+        return {
+            "kind": "adversarial",
+            "base": _encode_graph(topology.base),
+            "adversary": _encode_adversary(topology.adversary),
+            "swaps": int(topology.swaps_per_round),
+            "keep_connected": bool(topology.keep_connected),
+            "max_retries": int(topology.max_retries),
+            "seed": _encode_seed(topology._master),
+        }
     raise TypeError(
         f"topology {type(topology).__name__} is not wire-encodable; "
         "supported: Graph, FrozenSequence, RewiringSequence, "
-        "EdgeMarkovianSequence, ChurnSequence"
+        "EdgeMarkovianSequence, ChurnSequence, AdversarialSequence"
     )
 
 
 def _decode_topology(obj: dict):
+    from ..adversary.sequence import AdversarialSequence
     from ..dynamics.providers import (
         ChurnSequence,
         EdgeMarkovianSequence,
@@ -351,6 +461,15 @@ def _decode_topology(obj: dict):
             float(obj["rejoin"]),
             seed=_decode_seed(obj["seed"]),
             protected=tuple(int(v) for v in obj["protected"]),
+        )
+    if kind == "adversarial":
+        return AdversarialSequence(
+            _decode_graph(obj["base"]),
+            _decode_adversary(obj["adversary"]),
+            _decode_seed(obj["seed"]),
+            swaps_per_round=int(obj["swaps"]),
+            keep_connected=obj["keep_connected"],
+            max_retries=int(obj["max_retries"]),
         )
     raise ValueError(f"unknown topology kind {kind!r}")
 

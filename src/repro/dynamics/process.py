@@ -356,14 +356,23 @@ def batch_seed_pair(
     return topo, proc
 
 
-def _resolve_sequence(sequence, topology_seed) -> GraphSequence:
+def _resolve_sequence(sequence, topology_seed, *, fresh: bool = False) -> GraphSequence:
+    """Coerce a sequence-or-factory argument into a :class:`GraphSequence`.
+
+    With ``fresh=True`` the result goes through
+    :meth:`GraphSequence.fresh_replay` — a no-op for oblivious
+    sequences, but mandatory before handing an *observing* sequence
+    (``observes_process = True``, e.g. an adversarial topology) to a
+    new engine invocation: each invocation must drive its own pristine
+    replay log.
+    """
     if isinstance(sequence, GraphSequence):
-        return sequence
+        return sequence.fresh_replay() if fresh else sequence
     if callable(sequence):
         made = sequence(topology_seed)
         if not isinstance(made, GraphSequence):
             raise TypeError("sequence factory must return a GraphSequence")
-        return made
+        return made.fresh_replay() if fresh else made
     raise TypeError("expected a GraphSequence or a factory seed -> GraphSequence")
 
 
@@ -422,7 +431,7 @@ def _sharded_dynamic_times(
         tasks.append(
             ShardTask(
                 rule=rule,
-                topology=_resolve_sequence(sequence, topo_seed),
+                topology=_resolve_sequence(sequence, topo_seed, fresh=True),
                 completion=criterion,
                 state=state,
                 seed=proc_seed,
@@ -461,7 +470,7 @@ def dynamic_cover_time_samples(
     """
     times = np.empty(int(runs), dtype=np.int64)
     for i, (topo_seed, proc_seed) in enumerate(run_seed_pairs(seed, int(runs))):
-        seq = _resolve_sequence(sequence, topo_seed)
+        seq = _resolve_sequence(sequence, topo_seed, fresh=True)
         proc = DynamicCobraProcess(seq, branching, lazy=lazy)
         result = proc.run(
             start,
@@ -492,7 +501,7 @@ def dynamic_infection_time_samples(
     """Sample dynamic BIPS infection times, one run at a time (see above)."""
     times = np.empty(int(runs), dtype=np.int64)
     for i, (topo_seed, proc_seed) in enumerate(run_seed_pairs(seed, int(runs))):
-        seq = _resolve_sequence(sequence, topo_seed)
+        seq = _resolve_sequence(sequence, topo_seed, fresh=True)
         proc = DynamicBipsProcess(seq, source, branching, lazy=lazy)
         result = proc.run(
             np.random.default_rng(proc_seed),
@@ -556,7 +565,7 @@ def dynamic_cover_time_batch(
             what="COBRA",
         )
     topo_seed, proc_seed = batch_seed_pair(seed)
-    seq = _resolve_sequence(sequence, topo_seed)
+    seq = _resolve_sequence(sequence, topo_seed, fresh=True)
     proc = DynamicCobraProcess(seq, branching, lazy=lazy)
     res = proc.run_batch(
         np.full(int(runs), _check_start(seq, start), dtype=np.int64),
@@ -609,7 +618,7 @@ def dynamic_infection_time_batch(
             what="BIPS",
         )
     topo_seed, proc_seed = batch_seed_pair(seed)
-    seq = _resolve_sequence(sequence, topo_seed)
+    seq = _resolve_sequence(sequence, topo_seed, fresh=True)
     proc = DynamicBipsProcess(seq, source, branching, lazy=lazy)
     res = proc.run_batch(
         int(runs),

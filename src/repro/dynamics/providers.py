@@ -33,6 +33,8 @@ __all__ = [
     "EdgeMarkovianSequence",
     "RewiringSequence",
     "ChurnSequence",
+    "try_swap_round",
+    "advance_swap_state",
 ]
 
 
@@ -41,6 +43,90 @@ def _check_probability(value: float, label: str) -> float:
     if not 0.0 <= value <= 1.0:
         raise ValueError(f"{label} must be a probability in [0, 1], got {value}")
     return value
+
+
+def try_swap_round(
+    edges: np.ndarray,
+    keys: set,
+    n: int,
+    swaps: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, set, bool]:
+    """One round of double-edge-swap attempts on copies of the state.
+
+    The exact draw order of :class:`RewiringSequence` (shared with
+    :class:`repro.adversary.AdversarialSequence`'s oblivious phase, so
+    a budget-0 adversary replays the oblivious realisation
+    bit-for-bit): ``swaps`` edge-index pairs first, then the mirror
+    coins, then a sequential accept/reject loop rejecting self-loops,
+    parallel edges and identity proposals.
+    """
+    edges = edges.copy()
+    keys = set(keys)
+    m = edges.shape[0]
+    pairs = rng.integers(0, m, size=(swaps, 2))
+    mirror = rng.random(swaps) < 0.5
+    n = np.int64(n)
+    changed = False
+    for (i, j), flip in zip(pairs.tolist(), mirror.tolist()):
+        if i == j:
+            continue
+        a, b = edges[i]
+        c, d = edges[j]
+        if flip:
+            c, d = d, c
+        if a == c or b == d:
+            continue  # proposal creates a self-loop
+        new1 = (min(a, c), max(a, c))
+        new2 = (min(b, d), max(b, d))
+        k1 = new1[0] * n + new1[1]
+        k2 = new2[0] * n + new2[1]
+        old1 = min(a, b) * n + max(a, b)
+        old2 = min(c, d) * n + max(c, d)
+        if {k1, k2} == {old1, old2}:
+            continue  # identity proposal (edges share a vertex)
+        keys.discard(old1)
+        keys.discard(old2)
+        if k1 == k2 or k1 in keys or k2 in keys:
+            keys.add(old1)
+            keys.add(old2)
+            continue  # proposal creates a parallel edge
+        keys.add(k1)
+        keys.add(k2)
+        edges[i] = new1
+        edges[j] = new2
+        changed = True
+    return edges, keys, changed
+
+
+def advance_swap_state(owner, rng: np.random.Generator) -> bool:
+    """One RewiringSequence-style round on ``owner``'s edge state.
+
+    ``owner`` carries ``_edges`` / ``_keys`` / ``_built`` plus the
+    ``swaps_per_round`` / ``keep_connected`` / ``max_retries`` knobs —
+    :class:`RewiringSequence` itself, and the oblivious phase of
+    :class:`repro.adversary.AdversarialSequence`.  A round whose
+    accepted swaps disconnect the graph is re-drawn from the same
+    round stream (up to ``max_retries`` times, then the round leaves
+    the topology unchanged).
+    """
+    if owner.swaps_per_round == 0:
+        return False
+    attempts = owner.max_retries + 1 if owner.keep_connected else 1
+    for _ in range(attempts):
+        edges, keys, changed = try_swap_round(
+            owner._edges, owner._keys, owner.n, owner.swaps_per_round, rng
+        )
+        if not changed:
+            return False
+        graph = Graph(owner.n, edges, name=owner.name)
+        if owner.keep_connected and not graph.is_connected():
+            continue
+        owner._edges = edges
+        owner._keys = keys
+        owner._built = graph
+        return True
+    return False  # no connected proposal found; hold the topology
 
 
 class EdgeMarkovianSequence(MarkovGraphSequence):
@@ -147,63 +233,8 @@ class RewiringSequence(MarkovGraphSequence):
         self._keys = set(self._edge_keys(self._edges).tolist())
         self._built = None
 
-    def _try_round(
-        self, rng: np.random.Generator
-    ) -> tuple[np.ndarray, set, bool]:
-        """One round of swap attempts on a copy of the current state."""
-        edges = self._edges.copy()
-        keys = set(self._keys)
-        m = edges.shape[0]
-        pairs = rng.integers(0, m, size=(self.swaps_per_round, 2))
-        mirror = rng.random(self.swaps_per_round) < 0.5
-        n = np.int64(self.n)
-        changed = False
-        for (i, j), flip in zip(pairs.tolist(), mirror.tolist()):
-            if i == j:
-                continue
-            a, b = edges[i]
-            c, d = edges[j]
-            if flip:
-                c, d = d, c
-            if a == c or b == d:
-                continue  # proposal creates a self-loop
-            new1 = (min(a, c), max(a, c))
-            new2 = (min(b, d), max(b, d))
-            k1 = new1[0] * n + new1[1]
-            k2 = new2[0] * n + new2[1]
-            old1 = min(a, b) * n + max(a, b)
-            old2 = min(c, d) * n + max(c, d)
-            if {k1, k2} == {old1, old2}:
-                continue  # identity proposal (edges share a vertex)
-            keys.discard(old1)
-            keys.discard(old2)
-            if k1 == k2 or k1 in keys or k2 in keys:
-                keys.add(old1)
-                keys.add(old2)
-                continue  # proposal creates a parallel edge
-            keys.add(k1)
-            keys.add(k2)
-            edges[i] = new1
-            edges[j] = new2
-            changed = True
-        return edges, keys, changed
-
     def _advance_state(self, rng: np.random.Generator) -> bool:
-        if self.swaps_per_round == 0:
-            return False
-        attempts = self.max_retries + 1 if self.keep_connected else 1
-        for _ in range(attempts):
-            edges, keys, changed = self._try_round(rng)
-            if not changed:
-                return False
-            graph = Graph(self.n, edges, name=self.name)
-            if self.keep_connected and not graph.is_connected():
-                continue
-            self._edges = edges
-            self._keys = keys
-            self._built = graph
-            return True
-        return False  # no connected proposal found; hold the topology
+        return advance_swap_state(self, rng)
 
     def _build_graph(self) -> Graph:
         if self._built is not None:

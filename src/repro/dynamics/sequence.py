@@ -90,12 +90,37 @@ class GraphSequence(abc.ABC):
         Capacity of the LRU snapshot cache.
     """
 
+    #: Oblivious by default.  Sequences that react to process state
+    #: (see :mod:`repro.engine.observation`) set this True and
+    #: implement ``observe(observation)``; the engine then delivers one
+    #: :class:`~repro.engine.FrontierObservation` per round.
+    observes_process = False
+
     def __init__(self, n: int, name: str, *, cache_size: int = 8) -> None:
         if n < 1:
             raise ValueError("sequence needs at least one vertex")
         self.n = int(n)
         self.name = name
         self._cache = _LRUCache(cache_size)
+
+    # ------------------------------------------------------------------
+    def fresh_replay(self) -> "GraphSequence":
+        """A sequence replaying this realisation from a pristine state.
+
+        Oblivious sequences are already pure functions of their seed,
+        so sharing one instance is safe and the default returns
+        ``self``.  Observing sequences (``observes_process = True``)
+        accumulate an observation log and therefore *must* override
+        this to return an unused clone — sharding and the per-run
+        samplers call it before handing a sequence to a new engine
+        invocation.
+        """
+        if self.observes_process:
+            raise NotImplementedError(
+                f"{type(self).__name__} observes the process and must "
+                "implement fresh_replay()"
+            )
+        return self
 
     # ------------------------------------------------------------------
     def graph_at(self, t: int) -> Graph:

@@ -29,6 +29,7 @@ from .completion import (
     make_completion,
 )
 from .engine import SpreadEngine, SpreadResult, StaticTopology, as_topology
+from .observation import FrontierObservation
 from .rules import (
     BipsRule,
     CobraRule,
@@ -46,6 +47,8 @@ __all__ = [
     "SpreadResult",
     "StaticTopology",
     "as_topology",
+    # observation protocol
+    "FrontierObservation",
     # rules
     "SpreadRule",
     "CobraRule",

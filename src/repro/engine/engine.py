@@ -36,6 +36,7 @@ import numpy as np
 
 from ..graphs.graph import Graph
 from .completion import AllVertices, CompletionCriterion, make_completion
+from .observation import FrontierObservation
 from .rules import SpreadRule
 
 __all__ = ["SpreadEngine", "SpreadResult", "StaticTopology", "as_topology"]
@@ -173,8 +174,17 @@ class SpreadEngine:
         and degree recording is built on.  Transition ``t → t+1`` uses
         ``topology.graph_at(t)``, so round counting matches both the
         historical static and dynamic loops.
+
+        Topologies with ``observes_process = True`` (adaptive
+        adversaries, see :mod:`repro.engine.observation`) receive one
+        :class:`FrontierObservation` per round, delivered before the
+        round's ``graph_at(t)`` call, so the snapshot may react to the
+        state about to act on it.
         """
         rule, topo = self.rule, self.topology
+        observer = (
+            topo.observe if getattr(topo, "observes_process", False) else None
+        )
         n = topo.n
         # Rules with non-row-per-run state (bit-packed flooding) publish
         # their run count through runs_of; the default is one state row
@@ -195,6 +205,15 @@ class SpreadEngine:
             hits[occ] = 0
 
         times = np.full(runs, -1, dtype=np.int64)
+        if observer is not None:
+            observer(
+                FrontierObservation(
+                    t=0,
+                    occupied=occ,
+                    visited=visited,
+                    alive=np.ones(runs, dtype=bool),
+                )
+            )
         graph = topo.graph_at(0)
         basis = visited if monotone else occ
         times[self.completion.done(basis, graph, remaining if monotone else None)] = 0
@@ -224,10 +243,19 @@ class SpreadEngine:
 
         t = 0
         while np.any(times < 0) and t < cap:
+            alive = times < 0
+            if observer is not None and t > 0:
+                observer(
+                    FrontierObservation(
+                        t=t,
+                        occupied=rule.occupancy(state, n),
+                        visited=visited,
+                        alive=alive,
+                    )
+                )
             graph = topo.graph_at(t)
             if on_round is not None:
                 on_round(t, graph, state)
-            alive = times < 0
             state = rule.step(graph, state, alive, rng)
             t += 1
             if use_packed_done:

@@ -1,4 +1,4 @@
-"""Registry mapping experiment ids (E1..E16) to their modules."""
+"""Registry mapping experiment ids (E1..E17) to their modules."""
 
 from __future__ import annotations
 
@@ -22,6 +22,7 @@ from . import (
     e14_branching_returns,
     e15_worst_case_conjecture,
     e16_dynamic_cover,
+    e17_adversarial_cover,
 )
 from .config import ExperimentConfig
 from .runner import ExperimentResult
@@ -56,6 +57,7 @@ _MODULES = [
     (e14_branching_returns, "Ablation: branching factor b beyond 2"),
     (e15_worst_case_conjecture, "Conclusions: the O(n log n) worst-case conjecture"),
     (e16_dynamic_cover, "Extension: COBRA/BIPS on time-evolving graphs"),
+    (e17_adversarial_cover, "Extension: worst-case cover vs an adaptive adversary"),
 ]
 
 EXPERIMENTS: dict[str, ExperimentSpec] = {

@@ -411,12 +411,20 @@ def run_sharded(
     if endpoint is None and workers > 1 and isinstance(topo, StaticTopology):
         shared = topo.base.to_shared()
         ship = shared
+    # Observing topologies (adaptive adversaries) accumulate a per-run
+    # observation log, so one instance cannot serve several engine
+    # invocations: every shard gets its own pristine replay.  Oblivious
+    # sequences return themselves and still ship as one object.
+    fresh = getattr(topo, "fresh_replay", None)
+    per_shard_topo = (
+        fresh if getattr(topo, "observes_process", False) and fresh else None
+    )
     try:
         bounds = np.concatenate([[0], np.cumsum(shard_sizes)])
         tasks = [
             ShardTask(
                 rule=rule,
-                topology=ship,
+                topology=ship if per_shard_topo is None else per_shard_topo(),
                 completion=completion,
                 state=state[lo:hi],
                 seed=s,

@@ -1,0 +1,161 @@
+"""The engine observation protocol: delivery order and digest helpers."""
+
+import numpy as np
+
+from repro.core.branching import make_policy
+from repro.engine import (
+    BipsRule,
+    CobraRule,
+    FrontierObservation,
+    SpreadEngine,
+)
+from repro.graphs import random_regular_graph
+
+
+class Recorder:
+    """A static topology that opts into observations and logs them."""
+
+    observes_process = True
+
+    def __init__(self, graph):
+        self.base = graph
+        self.n = graph.n
+        self.name = graph.name
+        self.log = []
+
+    def graph_at(self, t):
+        return self.base
+
+    def observe(self, observation):
+        self.log.append(
+            (
+                observation.t,
+                observation.occupied.copy(),
+                None
+                if observation.visited is None
+                else observation.visited.copy(),
+                observation.alive.copy(),
+            )
+        )
+
+
+def _run(rule, topo, runs=4):
+    state = np.zeros((runs, topo.n), dtype=bool)
+    state[:, 0] = True
+    engine = SpreadEngine(rule, topo)
+    return engine.run(state, np.random.default_rng(3))
+
+
+class TestDelivery:
+    def test_one_observation_per_round_contiguous_from_zero(self):
+        topo = Recorder(random_regular_graph(24, 4, rng=5))
+        result = _run(CobraRule(make_policy(2)), topo)
+        ts = [entry[0] for entry in topo.log]
+        assert ts == list(range(result.rounds_run))
+
+    def test_round0_observation_is_initial_state(self):
+        topo = Recorder(random_regular_graph(24, 4, rng=5))
+        _run(CobraRule(make_policy(2)), topo, runs=3)
+        t, occupied, visited, alive = topo.log[0]
+        assert t == 0
+        assert occupied.shape == (3, 24)
+        assert occupied.sum() == 3 and occupied[:, 0].all()
+        assert np.array_equal(visited, occupied)
+        assert alive.all()
+
+    def test_alive_mask_drops_finished_runs(self):
+        topo = Recorder(random_regular_graph(24, 4, rng=5))
+        result = _run(CobraRule(make_policy(2)), topo, runs=6)
+        finished_first = int(result.finish_times.min())
+        for t, _, _, alive in topo.log:
+            if t > finished_first:
+                assert not alive.all()
+
+    def test_observer_sees_state_before_snapshot_acts(self):
+        # The observation for round t arrives before graph_at(t): the
+        # recorder can verify by counting graph_at calls.
+        class Ordered(Recorder):
+            def __init__(self, graph):
+                super().__init__(graph)
+                self.calls = []
+
+            def graph_at(self, t):
+                self.calls.append(("graph", t))
+                return self.base
+
+            def observe(self, observation):
+                self.calls.append(("observe", observation.t))
+                super().observe(observation)
+
+        topo = Ordered(random_regular_graph(24, 4, rng=5))
+        _run(CobraRule(make_policy(2)), topo)
+        # t = 0 is special: the engine probes graph_at(0) once for cap
+        # derivation before the run proper, so only t >= 1 has a strict
+        # observe-before-snapshot order to check.
+        for t in range(1, len(topo.log)):
+            assert topo.calls.index(("observe", t)) < topo.calls.index(
+                ("graph", t)
+            )
+
+    def test_oblivious_topology_never_observed(self):
+        graph = random_regular_graph(24, 4, rng=5)
+        # A plain graph has no observe attribute; the engine must not
+        # try to call one (and the run must match the recorder run,
+        # which consumes no extra randomness).
+        ref = _run(CobraRule(make_policy(2)), Recorder(graph))
+        got = _run(CobraRule(make_policy(2)), graph)
+        assert np.array_equal(got.finish_times, ref.finish_times)
+
+    def test_bips_observation_includes_source(self):
+        topo = Recorder(random_regular_graph(24, 4, rng=5))
+        rule = BipsRule(make_policy(2), source=0)
+        state = np.zeros((4, topo.n), dtype=bool)
+        state[:, 0] = True
+        SpreadEngine(rule, topo).run(state, np.random.default_rng(1))
+        for _, occupied, _, _ in topo.log:
+            assert occupied[:, 0].all()
+
+
+class TestFrontierObservation:
+    def _obs(self):
+        occupied = np.array(
+            [[True, False, True, False], [False, True, False, False]]
+        )
+        visited = np.array(
+            [[True, True, True, False], [False, True, True, False]]
+        )
+        alive = np.array([True, False])
+        return FrontierObservation(
+            t=3, occupied=occupied, visited=visited, alive=alive
+        )
+
+    def test_shape_properties(self):
+        obs = self._obs()
+        assert obs.runs == 2 and obs.n == 4
+
+    def test_frontier_sizes(self):
+        assert self._obs().frontier_sizes().tolist() == [2, 1]
+
+    def test_unions_restrict_to_alive(self):
+        obs = self._obs()
+        assert obs.union_occupied().tolist() == [True, False, True, False]
+        assert obs.union_informed().tolist() == [True, True, True, False]
+
+    def test_informed_falls_back_to_occupied(self):
+        obs = FrontierObservation(
+            t=0,
+            occupied=np.ones((1, 3), dtype=bool),
+            visited=None,
+            alive=np.ones(1, dtype=bool),
+        )
+        assert np.array_equal(obs.informed, obs.occupied)
+
+    def test_all_dead_unions_are_empty(self):
+        obs = FrontierObservation(
+            t=9,
+            occupied=np.ones((2, 3), dtype=bool),
+            visited=None,
+            alive=np.zeros(2, dtype=bool),
+        )
+        assert not obs.union_occupied().any()
+        assert not obs.union_informed().any()

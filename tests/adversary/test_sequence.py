@@ -1,0 +1,171 @@
+"""AdversarialSequence: determinism, the budget-0 anchor, replay."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    AdversarialSequence,
+    GreedyCutAdversary,
+    IsolatingChurnAdversary,
+    make_adversary,
+)
+from repro.core.branching import make_policy
+from repro.dynamics import GraphSequence, RewiringSequence
+from repro.engine import CobraRule, SpreadEngine
+from repro.graphs import random_regular_graph
+
+
+def _base():
+    return random_regular_graph(24, 4, rng=11)
+
+
+def _sequence(budget=4, seed=77, swaps=2, base=None):
+    return AdversarialSequence(
+        base or _base(),
+        GreedyCutAdversary(budget),
+        seed,
+        swaps_per_round=swaps,
+    )
+
+
+def _run(seq, runs=6, proc_seed=123):
+    state = np.zeros((runs, seq.n), dtype=bool)
+    state[:, 0] = True
+    engine = SpreadEngine(CobraRule(make_policy(2)), seq)
+    return engine.run(state, np.random.default_rng(proc_seed))
+
+
+def _graphs_equal(a, b):
+    return np.array_equal(a.indptr, b.indptr) and np.array_equal(
+        a.indices, b.indices
+    )
+
+
+class TestBudgetZeroAnchor:
+    def test_snapshots_match_oblivious_rewiring_exactly(self):
+        base = _base()
+        adv = _sequence(budget=0, seed=5, swaps=3, base=base)
+        obl = RewiringSequence(base, 3, seed=5)
+        # Drive the adversarial sequence with a real engine so the
+        # observation log fills, then compare every realised snapshot.
+        _run(adv)
+        rounds = adv.observed_rounds
+        assert rounds > 1
+        for t in range(rounds):
+            assert _graphs_equal(adv.graph_at(t), obl.graph_at(t))
+
+    def test_cover_samples_match_oblivious(self):
+        base = _base()
+        ref = _run(RewiringSequence(base, 3, seed=5))
+        got = _run(_sequence(budget=0, seed=5, swaps=3, base=base))
+        assert np.array_equal(got.finish_times, ref.finish_times)
+        assert np.array_equal(got.final_state, ref.final_state)
+
+
+class TestDeterminism:
+    def test_same_seeds_same_run(self):
+        a = _run(_sequence(seed=9))
+        b = _run(_sequence(seed=9))
+        assert np.array_equal(a.finish_times, b.finish_times)
+        assert np.array_equal(a.final_state, b.final_state)
+
+    def test_seeking_backwards_replays_identically(self):
+        seq = _sequence(seed=9)
+        _run(seq)
+        rounds = seq.observed_rounds
+        forward = [seq.graph_at(t) for t in range(rounds)]
+        # Seeking to 0 discards state and replays from the log.
+        replayed = [seq.graph_at(t) for t in range(rounds)]
+        for f, r in zip(forward, replayed):
+            assert _graphs_equal(f, r)
+
+    def test_budget_changes_the_realisation(self):
+        a = _run(_sequence(budget=0, seed=9))
+        b = _run(_sequence(budget=8, seed=9))
+        assert not np.array_equal(a.finish_times, b.finish_times)
+
+    def test_active_at_tracks_churn(self):
+        base = _base()
+        seq = AdversarialSequence(
+            base,
+            IsolatingChurnAdversary(2, protected=(0,), downtime=3),
+            7,
+            swaps_per_round=0,
+        )
+        state = np.zeros((4, seq.n), dtype=bool)
+        state[:, 0] = True
+        SpreadEngine(CobraRule(make_policy(2)), seq, "all-active").run(
+            state, np.random.default_rng(1)
+        )
+        masks = [seq.active_at(t) for t in range(seq.observed_rounds)]
+        assert masks[0].all()  # round 0 starts fully active
+        assert any(not m.all() for m in masks[1:])  # someone churned out
+
+
+class TestReplayProtocol:
+    def test_fresh_replay_reproduces_the_run(self):
+        seq = _sequence(seed=13)
+        first = _run(seq)
+        again = _run(seq.fresh_replay())
+        assert np.array_equal(first.finish_times, again.finish_times)
+
+    def test_reusing_one_sequence_across_runs_raises(self):
+        seq = _sequence(seed=13)
+        _run(seq, proc_seed=1)
+        with pytest.raises(ValueError, match="fresh_replay"):
+            _run(seq, proc_seed=2)
+
+    def test_observation_gap_raises(self):
+        from repro.engine import FrontierObservation
+
+        seq = _sequence(seed=13)
+        obs = FrontierObservation(
+            t=4,
+            occupied=np.zeros((1, seq.n), dtype=bool),
+            visited=None,
+            alive=np.ones(1, dtype=bool),
+        )
+        with pytest.raises(ValueError, match="gap"):
+            seq.observe(obs)
+
+    def test_identical_redelivery_is_idempotent(self):
+        from repro.engine import FrontierObservation
+
+        seq = _sequence(seed=13)
+        obs = FrontierObservation(
+            t=0,
+            occupied=np.zeros((1, seq.n), dtype=bool),
+            visited=None,
+            alive=np.ones(1, dtype=bool),
+        )
+        seq.observe(obs)
+        seq.observe(obs)  # same digest again: accepted silently
+        assert seq.observed_rounds == 1
+
+    def test_base_class_fresh_replay_guards_observers(self):
+        class Observing(GraphSequence):
+            observes_process = True
+
+            def _materialize(self, t):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        seq = Observing(4, "observer-without-replay")
+        with pytest.raises(NotImplementedError, match="fresh_replay"):
+            seq.fresh_replay()
+
+    def test_oblivious_fresh_replay_returns_self(self):
+        seq = RewiringSequence(_base(), 2, seed=3)
+        assert seq.fresh_replay() is seq
+
+
+class TestValidation:
+    def test_negative_swaps_rejected(self):
+        with pytest.raises(ValueError, match="swaps_per_round"):
+            _sequence(swaps=-1)
+
+    def test_make_adversary_integration(self):
+        seq = AdversarialSequence(
+            _base(), make_adversary("adaptive-rri", 4), 3
+        )
+        assert seq.observes_process
+        assert "adaptive-rri" in seq.name

@@ -98,3 +98,85 @@ class TestResolution:
         root = ResultCache.default_root()
         assert root is not None
         assert root.parts[-2:] == ("repro", "results")
+
+
+class TestLRUBound:
+    def _fill(self, cache, seeds):
+        keys = []
+        for seed in seeds:
+            task = _task(seed=seed)
+            keys.append(task_key(task))
+            cache.put(keys[-1], run_shard(task))
+        return keys
+
+    def test_unbounded_by_default(self, tmp_path, monkeypatch):
+        from repro.distributed.cache import CACHE_MAX_BYTES_ENV_VAR
+
+        monkeypatch.delenv(CACHE_MAX_BYTES_ENV_VAR, raising=False)
+        cache = ResultCache(tmp_path)
+        assert cache.max_bytes is None
+        self._fill(cache, range(1, 6))
+        assert len(cache) == 5 and cache.evictions == 0
+
+    def test_put_evicts_down_to_bound(self, tmp_path):
+        probe = ResultCache(tmp_path / "probe", max_bytes=None)
+        self._fill(probe, [1])
+        entry_size = probe.total_bytes()
+
+        cache = ResultCache(tmp_path / "lru", max_bytes=7 * entry_size // 2)
+        keys = self._fill(cache, range(1, 6))
+        assert cache.total_bytes() <= cache.max_bytes
+        assert cache.evictions >= 2
+        # The newest entry always survives.
+        assert keys[-1] in cache
+
+    def test_eviction_is_lru_by_access(self, tmp_path):
+        import os
+        import time
+
+        probe = ResultCache(tmp_path / "probe", max_bytes=None)
+        self._fill(probe, [1])
+        entry_size = probe.total_bytes()
+
+        # Entry sizes differ by a few bytes (JSON digit counts), so the
+        # bound gets half an entry of slack: three fit, a fourth won't.
+        cache = ResultCache(tmp_path / "lru", max_bytes=7 * entry_size // 2)
+        k1, k2, k3 = self._fill(cache, [1, 2, 3])
+        # Age the stored atimes apart, then touch k1: it becomes the
+        # most recently used despite being the oldest write.
+        now = time.time()
+        for offset, key in ((30, k1), (20, k2), (10, k3)):
+            path = cache.path_for(key)
+            os.utime(path, (now - offset, now - offset))
+        assert cache.get(k1) is not None
+        (k4,) = self._fill(cache, [4])
+        assert k2 not in cache  # the true LRU went first
+        assert k1 in cache and k3 in cache and k4 in cache
+
+    def test_oversized_entry_still_caches(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=1)
+        (key,) = self._fill(cache, [1])
+        assert key in cache  # the fresh entry is exempt from eviction
+        assert len(cache) == 1
+
+    def test_env_var_sets_bound(self, tmp_path, monkeypatch):
+        from repro.distributed.cache import CACHE_MAX_BYTES_ENV_VAR
+
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV_VAR, "12345")
+        assert ResultCache(tmp_path).max_bytes == 12345
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV_VAR, "0")
+        assert ResultCache(tmp_path).max_bytes is None
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV_VAR, "not-a-number")
+        with pytest.raises(ValueError, match="byte count"):
+            ResultCache(tmp_path)
+
+    def test_hit_refreshes_atime(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path, max_bytes=None)
+        (key,) = self._fill(cache, [1])
+        stale = time.time() - 1000
+        os.utime(cache.path_for(key), (stale, stale))
+        assert cache.get(key) is not None
+        assert cache.path_for(key).stat().st_atime > stale + 500

@@ -210,6 +210,44 @@ class TestTopologies:
         with pytest.raises(TypeError, match="not wire-encodable"):
             _encode_topology(SnapshotSchedule([g]))
 
+    def test_adversarial_sequence_round_trips_as_replay_spec(self):
+        from repro.adversary import ADVERSARY_KINDS, AdversarialSequence, make_adversary
+
+        base = _graph()
+        for kind in ADVERSARY_KINDS:
+            seq = AdversarialSequence(
+                base, make_adversary(kind, 4, source=1), 9, swaps_per_round=2
+            )
+            back = _decode_topology(_encode_topology(seq))
+            assert isinstance(back, AdversarialSequence)
+            assert back.observes_process
+            assert back.adversary.name == kind
+            assert back.adversary.budget == 4
+            assert back.swaps_per_round == 2
+            # With no driving engine both realise the oblivious phase
+            # only — and must realise it identically.
+            for t in (0, 1, 3):
+                assert back.graph_at(t) == seq.fresh_replay().graph_at(t)
+
+    def test_used_adversarial_sequence_encodes_pristine(self):
+        # The wire ships a replay spec: an already-driven sequence's
+        # observation log must not leak into (or change) the encoding.
+        from repro.adversary import AdversarialSequence, make_adversary
+        from repro.core.branching import make_policy
+        from repro.engine import CobraRule, SpreadEngine
+
+        base = _graph()
+        seq = AdversarialSequence(
+            base, make_adversary("greedy-cut", 4), 9, swaps_per_round=2
+        )
+        pristine = canonical_bytes(_encode_topology(seq))
+        state = np.zeros((4, base.n), dtype=bool)
+        state[:, 0] = True
+        SpreadEngine(CobraRule(make_policy(2)), seq).run(
+            state, np.random.default_rng(1)
+        )
+        assert canonical_bytes(_encode_topology(seq)) == pristine
+
 
 class TestTasks:
     def test_task_round_trip_executes_identically(self):

@@ -17,11 +17,12 @@ SMOKE = ExperimentConfig(scale="smoke", seed=20170724)
 
 
 class TestRegistry:
-    def test_all_sixteen_registered(self):
-        # E1..E12 reproduce the paper; E13-E16 are extensions
-        # (DESIGN.md ablations plus the dynamic-graph suite).
-        assert len(EXPERIMENTS) == 16
-        assert sorted(EXPERIMENTS) == sorted(f"E{i}" for i in range(1, 17))
+    def test_all_seventeen_registered(self):
+        # E1..E12 reproduce the paper; E13-E17 are extensions
+        # (DESIGN.md ablations, the dynamic-graph suite, and the
+        # adversarial-dynamics suite).
+        assert len(EXPERIMENTS) == 17
+        assert sorted(EXPERIMENTS) == sorted(f"E{i}" for i in range(1, 18))
 
     def test_lookup_case_insensitive(self):
         assert get_experiment("e4").experiment_id == "E4"

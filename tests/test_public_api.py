@@ -23,6 +23,7 @@ class TestTopLevelApi:
         assert times.mean() >= 4.0  # log2(16)
 
     def test_subpackages_importable(self):
+        import repro.adversary
         import repro.baselines
         import repro.core
         import repro.distributed
@@ -35,6 +36,7 @@ class TestTopLevelApi:
         import repro.theory
 
         for mod in (
+            repro.adversary,
             repro.baselines,
             repro.core,
             repro.distributed,
