@@ -65,13 +65,32 @@ def time_run_batch(graph, runs: int) -> tuple[float, np.ndarray]:
     return time.perf_counter() - t0, res.cover_times
 
 
-def time_run_sharded(
-    engine, state, workers: int, max_shard: int | None
-) -> tuple[float, np.ndarray]:
+def time_run_sharded(engine, state, workers: int, max_shard: int | None):
     """Sharded path at a given worker count (same seed, same shard plan)."""
     t0 = time.perf_counter()
     res = engine.run_sharded(state, SEED, workers=workers, max_shard=max_shard)
-    return time.perf_counter() - t0, res.finish_times
+    return time.perf_counter() - t0, res
+
+
+def traced_round_profile(engine, state, max_shard: int | None) -> dict:
+    """One untimed instrumented pass: per-round latency percentiles.
+
+    Runs the cell once more with full telemetry (memory sink, stride 1)
+    and digests the engine's per-round histograms — the "hot rounds"
+    half of the BENCH telemetry attachment; shard skew comes free from
+    the timed runs' merged meta.
+    """
+    from repro.telemetry import MemorySink, configure
+
+    tel = configure(MemorySink(), sample_every=1)
+    try:
+        engine.run_sharded(state, SEED, workers=1, max_shard=max_shard)
+        return {
+            "round_seconds": tel.histogram_summary("engine.round.seconds"),
+            "round_occupied": tel.histogram_summary("engine.round.occupied"),
+        }
+    finally:
+        configure(None)
 
 
 def measure(
@@ -102,8 +121,10 @@ def measure(
         }
     ]
     reference = None
+    telemetry = {"shard_skew": None, "shard_wall_s": None}
     for workers in worker_grid:
-        seconds, times = time_run_sharded(engine, state, workers, max_shard)
+        seconds, res = time_run_sharded(engine, state, workers, max_shard)
+        times = res.finish_times
         if reference is None:
             reference = times
         elif not np.array_equal(times, reference):
@@ -111,6 +132,12 @@ def measure(
                 f"sharded samples differ at workers={workers} — "
                 "determinism contract broken"
             )
+        meta = res.meta or {}
+        if meta.get("workers", 0) > 1 or telemetry["shard_skew"] is None:
+            # Prefer the widest fan-out's skew: single-worker runs are
+            # trivially balanced.
+            telemetry["shard_skew"] = meta.get("skew")
+            telemetry["shard_wall_s"] = meta.get("wall_s")
         rows.append(
             {
                 "mode": "run_sharded",
@@ -122,7 +149,8 @@ def measure(
                 "mean_cover": float(times.mean()),
             }
         )
-    return rows
+    telemetry.update(traced_round_profile(engine, state, max_shard))
+    return rows, telemetry
 
 
 def best_speedup(rows: list[dict]) -> float:
@@ -148,8 +176,11 @@ def test_sharded_determinism_small():
 )
 def test_sharded_speedup_gate():
     """Acceptance gate: >= 3x over run_batch at n=16384, R=1024, 4 workers."""
-    rows = measure()
-    record_bench("sharding", rows, meta={"gate": f">={SPEEDUP_FLOOR}x"})
+    rows, telemetry = measure()
+    record_bench(
+        "sharding", rows, meta={"gate": f">={SPEEDUP_FLOOR}x"},
+        telemetry=telemetry,
+    )
     speedup = best_speedup(rows)
     assert speedup >= SPEEDUP_FLOOR, (
         f"best sharded speedup {speedup:.2f}x below the "
@@ -184,7 +215,7 @@ def main(argv=None) -> int:
         (1024, 128, 32) if args.smoke else (args.n, args.runs, None)
     )
 
-    rows = measure(n, runs, tuple(args.workers), max_shard=max_shard)
+    rows, telemetry = measure(n, runs, tuple(args.workers), max_shard=max_shard)
     ctx = machine_context()
     print(f"COBRA b=2 on rreg-{DEGREE}-{n}, R={runs} ({ctx['cpus']} CPUs)")
     header = f"{'mode':12} {'workers':>8} {'seconds':>9} {'speedup':>8}"
@@ -196,9 +227,17 @@ def main(argv=None) -> int:
             f"{row['speedup_vs_batch']:>7.2f}x"
         )
     path = record_bench(
-        "sharding", rows, meta={"smoke": bool(args.smoke), "seed": SEED}
+        "sharding", rows, meta={"smoke": bool(args.smoke), "seed": SEED},
+        telemetry=telemetry,
     )
     print(f"recorded -> {path}")
+    profile = telemetry.get("round_seconds")
+    if profile:
+        print(
+            f"per-round: p50={profile['p50'] * 1e3:.2f}ms "
+            f"p99={profile['p99'] * 1e3:.2f}ms over {profile['count']} rounds; "
+            f"shard skew {telemetry.get('shard_skew')}"
+        )
     if ctx["cpus"] < MIN_CPUS_FOR_GATE:
         print(
             f"note: only {ctx['cpus']} CPU(s) visible — the >= "

@@ -12,10 +12,17 @@ Format::
       "bench": "sharding",
       "entries": [
         {"timestamp": "...", "machine": {"cpus": 8, "python": "3.11.7"},
-         "meta": {...}, "rows": [{...}, ...]},
+         "meta": {...}, "rows": [{...}, ...],
+         "telemetry": {...}},            # optional: see telemetry_summary
         ...
       ]
     }
+
+``telemetry`` (when a benchmark passes one) carries the run's
+observability digest — per-round latency percentiles, shard timing
+skew, counter totals — produced by :func:`telemetry_summary` from the
+:mod:`repro.telemetry` registry, so BENCH files double as a perf
+dashboard substrate.
 """
 
 from __future__ import annotations
@@ -39,18 +46,38 @@ def machine_context() -> dict:
     return {"cpus": cpus, "python": platform.python_version()}
 
 
+def telemetry_summary(extra: dict | None = None) -> dict:
+    """Digest the global telemetry registry for a bench entry.
+
+    Counters plus per-histogram count/mean/p50/p90/p99/max — run the
+    instrumented pass with a real sink (``configure(MemorySink())``)
+    so per-round engine observations actually aggregate, then call
+    this before resetting.  ``extra`` merges benchmark-specific
+    observations (e.g. shard timing skew) into the digest.
+    """
+    from repro.telemetry import get_telemetry
+
+    digest = get_telemetry().snapshot()
+    if extra:
+        digest.update(extra)
+    return digest
+
+
 def record_bench(
     name: str,
     rows: list[dict],
     *,
     meta: dict | None = None,
+    telemetry: dict | None = None,
     root: Path | str | None = None,
 ) -> Path:
     """Append one benchmark entry to ``BENCH_<name>.json``; returns the path.
 
     ``rows`` is the run's measurement table (list of flat dicts);
-    ``meta`` is optional run-level context (parameters, gate results).
-    Creates the file on first use, appends thereafter.
+    ``meta`` is optional run-level context (parameters, gate results);
+    ``telemetry`` is an optional observability digest (see
+    :func:`telemetry_summary`), attached only when provided so
+    historical entries keep their shape.
     """
     path = Path(root or REPO_ROOT) / f"BENCH_{name}.json"
     if path.exists():
@@ -59,13 +86,14 @@ def record_bench(
             raise ValueError(f"{path} records bench {payload.get('bench')!r}")
     else:
         payload = {"bench": name, "entries": []}
-    payload["entries"].append(
-        {
-            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-            "machine": machine_context(),
-            "meta": meta or {},
-            "rows": rows,
-        }
-    )
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": machine_context(),
+        "meta": meta or {},
+        "rows": rows,
+    }
+    if telemetry is not None:
+        entry["telemetry"] = telemetry
+    payload["entries"].append(entry)
     path.write_text(json.dumps(payload, indent=2) + "\n")
     return path

@@ -48,6 +48,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..dynamics.providers import try_swap_round
+from ..telemetry import get_telemetry
 from .state import MutableTopology
 
 __all__ = [
@@ -154,6 +155,28 @@ def _check_budget(budget: int) -> int:
     return budget
 
 
+def _trace_adapt(policy: "AdversaryPolicy", t: int, spent: int, **fields) -> None:
+    """Emit one per-round adaptation record (no-op when tracing is off).
+
+    ``spent`` is the budget actually consumed this round (edges rewired
+    or vertices churned); extra ``fields`` carry the policy-specific
+    applied/rejected tallies.  Pure observation — policies never read
+    telemetry state, so replay behaviour is untouched.
+    """
+    tel = get_telemetry()
+    if not tel.enabled:
+        return
+    tel.event(
+        "adversary.adapt",
+        policy=policy.name,
+        t=int(t),
+        budget=int(policy.budget),
+        spent=int(spent),
+        **fields,
+    )
+    tel.observe(f"adversary.{policy.name}.spent", float(spent))
+
+
 class GreedyCutAdversary(AdversaryPolicy):
     """Sever frontier→uninformed edges by pairing them into swaps.
 
@@ -189,11 +212,16 @@ class GreedyCutAdversary(AdversaryPolicy):
         bwd = act & hot[v] & cold[u]
         boundary = np.nonzero(fwd | bwd)[0]
         if boundary.size < 2:
+            _trace_adapt(
+                self, digest.t, 0, applied=0, rejected=0,
+                boundary=int(boundary.size),
+            )
             return False
         boundary = boundary[rng.permutation(boundary.size)]
         hot_end = np.where(fwd[boundary], u[boundary], v[boundary])
         cold_end = np.where(fwd[boundary], v[boundary], u[boundary])
         used = 0
+        rejected = 0
         changed = False
         for k in range(0, boundary.size - 1, 2):
             if used + 2 > self.budget:
@@ -204,12 +232,18 @@ class GreedyCutAdversary(AdversaryPolicy):
                 int(boundary[k]), int(boundary[k + 1]), (h1, h2), (c1, c2)
             )
             if token is None:
+                rejected += 1
                 continue
             if self.keep_connected and not topo.connected():
                 topo.undo(token)
+                rejected += 1
                 continue
             used += 2
             changed = True
+        _trace_adapt(
+            self, digest.t, used, applied=used // 2, rejected=rejected,
+            boundary=int(boundary.size),
+        )
         return changed
 
 
@@ -304,6 +338,8 @@ class IsolatingChurnAdversary(AdversaryPolicy):
             order = np.lexsort((idx, -fdeg[idx]))
             victims = [int(v) for v in idx[order][: self.budget]]
             topo.deactivate(victims)
+        cancelled = False
+        cut_out = 0
         if self.keep_connected:
             anchor = self.protected[0]
             comp = topo.component_of(anchor)
@@ -316,6 +352,7 @@ class IsolatingChurnAdversary(AdversaryPolicy):
                 # guarantee that comp covers the protected set.)
                 topo.reactivate(victims)
                 victims = []
+                cancelled = True
                 comp = topo.component_of(anchor)
             # Unprotected active vertices cut off from the anchor
             # churn out too; protected ones always stay active.
@@ -324,9 +361,14 @@ class IsolatingChurnAdversary(AdversaryPolicy):
                 topo.deactivate(cut)
                 for vtx in cut:
                     self._down[int(vtx)] = t
+                cut_out = int(cut.size)
                 changed = True
         for vtx in victims:
             self._down[vtx] = t
+        _trace_adapt(
+            self, t, len(victims), churned=len(victims),
+            readmitted=len(back), separated=cut_out, cancelled=cancelled,
+        )
         return changed or bool(victims)
 
 
@@ -390,6 +432,7 @@ class MovingSourceAdversary(AdversaryPolicy):
         cold_inc = cold_inc[rng.permutation(cold_inc.size)]
         partners = partners[rng.permutation(partners.size)]
         used = 0
+        rejected = 0
         changed = False
         pi = 0
         for i in cold_inc:
@@ -403,12 +446,18 @@ class MovingSourceAdversary(AdversaryPolicy):
             if token is None:
                 token = topo.replace_pair(int(i), j, (s, d), (vcold, c))
             if token is None:
+                rejected += 1
                 continue
             if self.keep_connected and not topo.connected():
                 topo.undo(token)
+                rejected += 1
                 continue
             used += 2
             changed = True
+        _trace_adapt(
+            self, digest.t, used, applied=used // 2, rejected=rejected,
+            cold_edges=int(cold_inc.size),
+        )
         return changed
 
 
@@ -467,18 +516,23 @@ class AdaptiveRRIPolicy(AdversaryPolicy):
         if total < self.growth_threshold * prev:
             return False
         attempts = self.max_retries + 1 if self.keep_connected else 1
-        for _ in range(attempts):
+        for attempt in range(attempts):
             edges, keys, changed = try_swap_round(
                 topo.edges, topo.keys, topo.n, self.budget, rng
             )
             if not changed:
+                _trace_adapt(self, digest.t, 0, fired=False, rejected=attempt)
                 return False
             if self.keep_connected:
                 probe = MutableTopology(topo.n, edges, keys, topo.active)
                 if not probe.connected():
                     continue
             topo.commit_edges(edges, keys)
+            _trace_adapt(
+                self, digest.t, self.budget, fired=True, rejected=attempt
+            )
             return True
+        _trace_adapt(self, digest.t, 0, fired=False, rejected=attempts)
         return False
 
 

@@ -9,18 +9,22 @@ Subcommands::
     repro adversary --kind greedy-cut --budget 8   # worst-case dynamic cover
     repro broker --port 7603                  # shard-queue broker
     repro worker 127.0.0.1:7603               # worker attached to a broker
-    repro status 127.0.0.1:7603               # broker queue counters
+    repro status 127.0.0.1:7603 [--watch 2]   # broker queue counters + metrics
+    repro trace summarize trace.jsonl         # span tree + hot-round histograms
 
 Experiment output is the table(s) plus the pass/fail shape checks from
 DESIGN.md.  ``cover`` / ``trajectory`` / ``dynamics`` accept
 ``--endpoint host:port`` to fan their runs out over a broker's worker
 fleet (results bit-identical to local execution; shard results are
-content-address cached under ``REPRO_CACHE_DIR``).
+content-address cached under ``REPRO_CACHE_DIR``).  Every execution
+command accepts ``--telemetry PATH`` (or ``REPRO_TELEMETRY``) to
+stream a structured JSONL trace without perturbing any result.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -39,9 +43,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Shared by every execution command: where to stream the JSONL
+    # telemetry trace (overrides REPRO_TELEMETRY; see repro.telemetry).
+    tel = argparse.ArgumentParser(add_help=False)
+    tel.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="append a structured JSONL telemetry trace to PATH "
+        "(overrides REPRO_TELEMETRY; inspect with 'repro trace summarize'; "
+        "results are bit-identical with tracing on or off)",
+    )
+
     sub.add_parser("list", help="list registered experiments")
 
-    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p = sub.add_parser(
+        "run", help="run one experiment (or 'all')", parents=[tel]
+    )
     run_p.add_argument("experiment", help="experiment id (E1..E12) or 'all'")
     run_p.add_argument("--scale", choices=SCALES, default="quick")
     run_p.add_argument("--seed", type=int, default=ExperimentConfig().seed)
@@ -62,7 +80,9 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("--output", default="EXPERIMENTS.md")
 
     cover_p = sub.add_parser(
-        "cover", help="measure COBRA cover time on a named graph or edge list"
+        "cover",
+        help="measure COBRA cover time on a named graph or edge list",
+        parents=[tel],
     )
     cover_p.add_argument(
         "spec", help="graph spec (as graph-info) or a path to an edge-list file"
@@ -93,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     traj_p = sub.add_parser(
         "trajectory",
         help="render a BIPS infection / COBRA coverage trajectory chart",
+        parents=[tel],
     )
     traj_p.add_argument("spec", help="graph spec (as graph-info)")
     traj_p.add_argument(
@@ -120,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
     dyn_p = sub.add_parser(
         "dynamics",
         help="measure COBRA cover / BIPS infection on a time-evolving graph",
+        parents=[tel],
     )
     dyn_p.add_argument(
         "--family",
@@ -185,6 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
         "adversary",
         help="measure worst-case cover/infection against an adaptive "
         "adversary rewiring against the observed frontier",
+        parents=[tel],
     )
     adv_p.add_argument(
         "--family",
@@ -255,7 +278,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     status_p = sub.add_parser(
-        "status", help="query a broker's shard-queue counters"
+        "status",
+        help="query a broker's shard-queue counters and latency metrics",
     )
     status_p.add_argument("endpoint", help="broker endpoint, host:port")
     status_p.add_argument(
@@ -264,10 +288,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="seconds to wait for the broker before giving up",
     )
+    status_p.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="poll the broker every SECONDS, reprinting queue counters "
+        "and latency/throughput metrics until interrupted",
+    )
+
+    trace_p = sub.add_parser(
+        "trace", help="inspect a JSONL telemetry trace"
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    trace_sum_p = trace_sub.add_parser(
+        "summarize",
+        help="render a trace's span tree, counters and hot-round "
+        "histograms (exits non-zero on a malformed trace)",
+    )
+    trace_sum_p.add_argument("path", help="JSONL trace written by --telemetry")
 
     broker_p = sub.add_parser(
         "broker",
         help="serve the distributed shard queue (lease/heartbeat/requeue)",
+        parents=[tel],
     )
     broker_p.add_argument("--host", default="127.0.0.1")
     broker_p.add_argument("--port", type=int, default=7603)
@@ -285,7 +329,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     worker_p = sub.add_parser(
-        "worker", help="serve shards from a broker until it goes away"
+        "worker",
+        help="serve shards from a broker until it goes away",
+        parents=[tel],
     )
     worker_p.add_argument("endpoint", help="broker endpoint, host:port")
     worker_p.add_argument(
@@ -438,6 +484,8 @@ def _cmd_cover(args: argparse.Namespace) -> int:
         f"  Theorem 1.1 bound (constant 1): "
         f"{bound_spaa17_general(g.n, g.m, g.dmax):.1f}"
     )
+    if args.endpoint is not None:
+        _print_cache_stats()
     return 0
 
 
@@ -467,6 +515,8 @@ def _cmd_trajectory(args: argparse.Namespace) -> int:
             endpoint=args.endpoint,
         )
     print(render_ensemble(ensemble))
+    if args.endpoint is not None:
+        _print_cache_stats()
     return 0
 
 
@@ -602,6 +652,8 @@ def _cmd_dynamics(args: argparse.Namespace) -> int:
     )
     print(f"  mean {measured:14}: {mean_ci(samples)}")
     print(f"  95th percentile    : {whp_quantile(samples, rng=stat_rng)}")
+    if args.endpoint is not None:
+        _print_cache_stats()
     return 0
 
 
@@ -696,23 +748,118 @@ def _cmd_adversary(args: argparse.Namespace) -> int:
     )
     print(f"  mean {measured:14}: {mean_ci(samples)}")
     print(f"  95th percentile    : {whp_quantile(samples, rng=stat_rng)}")
+    if args.endpoint is not None:
+        _print_cache_stats()
     return 0
+
+
+def _latency_line(summary) -> str:
+    if not summary:
+        return "(no samples yet)"
+    return (
+        f"n={summary['count']} p50={summary['p50'] * 1e3:.1f}ms "
+        f"p90={summary['p90'] * 1e3:.1f}ms p99={summary['p99'] * 1e3:.1f}ms "
+        f"max={summary['max'] * 1e3:.1f}ms"
+    )
+
+
+def _render_status(endpoint: str, counts: dict) -> str:
+    """Format one broker status reply (queue counts + metrics + cache)."""
+    from .distributed.cache import ResultCache
+
+    core = ("jobs", "pending", "leased", "done", "failed")
+    lines = [f"broker {endpoint}"]
+    for key in core:
+        lines.append(f"  {key:8}: {counts.get(key, 0)}")
+    for key in sorted(set(counts) - set(core) - {"metrics"}):
+        lines.append(f"  {key:8}: {counts[key]}")
+    metrics = counts.get("metrics") or {}
+    if metrics:
+        lines.append(
+            "  queue   : "
+            f"submits={metrics.get('submits', 0)} "
+            f"shards={metrics.get('shards_submitted', 0)} "
+            f"leases={metrics.get('leases', 0)} "
+            f"completes={metrics.get('completes', 0)} "
+            f"requeues={metrics.get('requeues', 0)} "
+            f"heartbeats={metrics.get('heartbeats', 0)} "
+            f"errors={metrics.get('worker_errors', 0)}"
+        )
+        lines.append(f"  wait    : {_latency_line(metrics.get('wait_s'))}")
+        lines.append(f"  exec    : {_latency_line(metrics.get('exec_s'))}")
+        workers = metrics.get("workers") or {}
+        for worker_id, stats in sorted(workers.items()):
+            lines.append(
+                f"  {worker_id:8}: completed={stats.get('completed', 0)} "
+                f"busy={stats.get('busy_s', 0.0):.2f}s "
+                f"runs={stats.get('runs', 0)} rounds={stats.get('rounds', 0)} "
+                f"throughput={stats.get('throughput', 0.0):.2f} shard/s"
+            )
+    root = ResultCache.default_root()
+    if root is None:
+        lines.append("  cache   : disabled (REPRO_CACHE_DIR)")
+    elif root.is_dir():
+        store = ResultCache(root)
+        lines.append(
+            f"  cache   : {len(store)} entr(ies), "
+            f"{store.total_bytes()} bytes at {root}"
+        )
+    else:
+        lines.append(f"  cache   : empty at {root}")
+    return "\n".join(lines)
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
     from .distributed import DistributedError, broker_status
 
+    while True:
+        try:
+            counts = broker_status(args.endpoint, timeout=args.timeout)
+        except DistributedError as exc:
+            print(
+                f"cannot query broker at {args.endpoint}: {exc}", file=sys.stderr
+            )
+            return 1
+        try:
+            print(_render_status(args.endpoint, counts))
+            if args.watch is None:
+                return 0
+            time.sleep(max(0.05, args.watch))
+            print()
+        except KeyboardInterrupt:
+            return 0
+        except BrokenPipeError:
+            # Downstream pager/head closed the pipe: a clean exit, not
+            # an error (common under ``--watch ... | head``).  Point
+            # stdout at devnull so the interpreter's exit-time flush
+            # does not raise again.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .telemetry import render_trace
+
     try:
-        counts = broker_status(args.endpoint, timeout=args.timeout)
-    except DistributedError as exc:
-        print(f"cannot query broker at {args.endpoint}: {exc}", file=sys.stderr)
+        print(render_trace(args.path))
+    except OSError as exc:
+        print(f"cannot read trace {args.path}: {exc}", file=sys.stderr)
         return 1
-    print(f"broker {args.endpoint}")
-    for key in ("jobs", "pending", "leased", "done", "failed"):
-        print(f"  {key:8}: {counts.get(key, 0)}")
-    for key in sorted(set(counts) - {"jobs", "pending", "leased", "done", "failed"}):
-        print(f"  {key:8}: {counts[key]}")
+    except ValueError as exc:
+        print(f"malformed trace {args.path}: {exc}", file=sys.stderr)
+        return 1
     return 0
+
+
+def _print_cache_stats() -> None:
+    """One line of client-side cache traffic for the finished job."""
+    from .telemetry import get_telemetry
+
+    counters = get_telemetry().counters()
+    hits = int(counters.get("client.cache.hits", 0))
+    misses = int(counters.get("client.cache.misses", 0))
+    if hits or misses:
+        print(f"  result cache    : {hits} hit(s), {misses} miss(es)")
 
 
 def _cmd_broker(args: argparse.Namespace) -> int:
@@ -757,7 +904,20 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from .telemetry import configure_from_env, get_telemetry
+
     args = build_parser().parse_args(argv)
+    # --telemetry (or REPRO_TELEMETRY) turns tracing on for the whole
+    # command; flushed on every exit path so partial runs still leave
+    # a readable JSONL trace.
+    configure_from_env(getattr(args, "telemetry", None))
+    try:
+        return _dispatch(args)
+    finally:
+        get_telemetry().flush()
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
@@ -776,6 +936,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_adversary(args)
     if args.command == "status":
         return _cmd_status(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "broker":
         return _cmd_broker(args)
     if args.command == "worker":

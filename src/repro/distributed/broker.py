@@ -38,9 +38,10 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..telemetry import get_telemetry, summarize_values
 from .wire import read_frame, write_frame
 
-__all__ = ["ShardLedger", "ShardRecord", "Broker"]
+__all__ = ["ShardLedger", "ShardRecord", "QueueMetrics", "Broker"]
 
 #: Shard states.
 PENDING = "pending"
@@ -233,6 +234,10 @@ class ShardLedger:
             return "done", None
         return "running", None
 
+    def job_shards(self, job_id: str) -> list[str]:
+        """The shard ids a job was submitted with (empty if unknown)."""
+        return list(self._jobs.get(job_id, ()))
+
     def job_results(self, job_id: str) -> list[tuple[int, dict]]:
         """All ``(index, result)`` pairs of a finished job, index order."""
         shard_ids = self._jobs.get(job_id, [])
@@ -254,6 +259,114 @@ class ShardLedger:
             tally[record.state] += 1
         tally["jobs"] = len(self._jobs)
         return tally
+
+
+class QueueMetrics:
+    """Queue-health aggregation fed by broker transitions.
+
+    The observability sibling of :class:`ShardLedger`: every transition
+    the broker applies is mirrored here with an explicit ``now``
+    timestamp (same unit-testability contract as the ledger — no
+    hidden clock reads).  :meth:`snapshot` renders the state `repro
+    status` reports: lifecycle counters, submit→lease wait and
+    lease→complete execution latency percentiles, and per-worker
+    throughput (fed by the ``stats`` dicts workers attach to their
+    ``complete`` frames).
+
+    Latency samples are kept in bounded windows (``window`` most
+    recent), so a long-lived broker's metrics memory stays constant.
+    """
+
+    def __init__(self, *, window: int = 4096) -> None:
+        self.counters = {
+            "submits": 0,
+            "shards_submitted": 0,
+            "leases": 0,
+            "heartbeats": 0,
+            "requeues": 0,
+            "completes": 0,
+            "worker_errors": 0,
+        }
+        self.wait_s: deque[float] = deque(maxlen=window)
+        self.exec_s: deque[float] = deque(maxlen=window)
+        self.workers: dict[str, dict] = {}
+        self.started: float | None = None
+        self._submitted_at: dict[str, float] = {}
+        self._leased_at: dict[str, tuple[str, float]] = {}
+
+    def on_submit(self, shard_ids, now: float) -> None:
+        """A job's shards entered the queue."""
+        if self.started is None:
+            self.started = now
+        self.counters["submits"] += 1
+        self.counters["shards_submitted"] += len(shard_ids)
+        for shard_id in shard_ids:
+            self._submitted_at[shard_id] = now
+
+    def on_lease(self, shard_id: str, worker_id: str, now: float) -> float | None:
+        """A shard was handed out; returns its queue wait (if known)."""
+        self.counters["leases"] += 1
+        self._leased_at[shard_id] = (worker_id, now)
+        submitted = self._submitted_at.get(shard_id)
+        if submitted is None:
+            return None
+        wait = now - submitted
+        self.wait_s.append(wait)
+        return wait
+
+    def on_heartbeat(self) -> None:
+        """Count one lease-renewing heartbeat."""
+        self.counters["heartbeats"] += 1
+
+    def on_requeue(self, count: int = 1) -> None:
+        """Count ``count`` shards returned to pending (expiry/disconnect/error)."""
+        self.counters["requeues"] += count
+
+    def on_complete(
+        self, shard_id: str, now: float, stats: dict | None = None
+    ) -> float | None:
+        """A shard finished; returns its execution latency (if known)."""
+        self.counters["completes"] += 1
+        self._submitted_at.pop(shard_id, None)
+        leased = self._leased_at.pop(shard_id, None)
+        if leased is None:
+            return None
+        worker_id, leased_at = leased
+        elapsed = now - leased_at
+        self.exec_s.append(elapsed)
+        worker = self.workers.setdefault(
+            worker_id,
+            {"completed": 0, "busy_s": 0.0, "runs": 0, "rounds": 0},
+        )
+        worker["completed"] += 1
+        worker["busy_s"] += elapsed
+        if stats:
+            worker["runs"] += int(stats.get("runs", 0) or 0)
+            worker["rounds"] += int(stats.get("rounds_run", 0) or 0)
+        return elapsed
+
+    def on_worker_error(self) -> None:
+        """Count one worker-reported shard failure."""
+        self.counters["worker_errors"] += 1
+
+    def snapshot(self, now: float) -> dict:
+        """JSON-able metrics for the ``status`` reply."""
+        elapsed = None if self.started is None else max(now - self.started, 1e-9)
+        workers = {}
+        for worker_id, stats in sorted(self.workers.items()):
+            workers[worker_id] = {
+                **stats,
+                "throughput": (
+                    stats["completed"] / elapsed if elapsed else 0.0
+                ),
+            }
+        return {
+            **self.counters,
+            "uptime_s": elapsed,
+            "wait_s": summarize_values(list(self.wait_s)),
+            "exec_s": summarize_values(list(self.exec_s)),
+            "workers": workers,
+        }
 
 
 class Broker:
@@ -286,6 +399,7 @@ class Broker:
         self.ledger = ShardLedger(
             lease_timeout=lease_timeout, max_attempts=max_attempts
         )
+        self.metrics = QueueMetrics()
         self.sweep_interval = (
             float(sweep_interval)
             if sweep_interval is not None
@@ -434,10 +548,16 @@ class Broker:
         self._finished_at.pop(job_id, None)
 
     async def _sweep_loop(self) -> None:
+        tel = get_telemetry()
         while True:
             await asyncio.sleep(self.sweep_interval)
             now = time.monotonic()
-            for job_id in self.ledger.expire(now):
+            expired = self.ledger.expire(now)
+            if expired:
+                self.metrics.on_requeue(len(expired))
+                if tel.enabled:
+                    tel.event("broker.requeue", shards=len(expired), cause="expired")
+            for job_id in expired:
                 self._notify(job_id)
             # Reap finished jobs whose client never collected them
             # (disconnected, timed out, crashed): without this, the
@@ -481,6 +601,7 @@ class Broker:
             task.add_done_callback(self._handlers.discard)
         self._connections += 1
         worker_id = f"conn-{self._connections}"
+        tel = get_telemetry()
         try:
             while True:
                 message = await read_frame(reader)
@@ -488,10 +609,23 @@ class Broker:
                     break
                 kind = message.get("type")
                 if kind == "lease":
-                    record = self.ledger.lease(worker_id, time.monotonic())
+                    now = time.monotonic()
+                    record = self.ledger.lease(worker_id, now)
                     if record is None:
                         await write_frame(writer, {"type": "idle"})
                     else:
+                        wait = self.metrics.on_lease(
+                            record.shard_id, worker_id, now
+                        )
+                        if tel.enabled:
+                            tel.event(
+                                "broker.lease",
+                                shard=record.shard_id,
+                                worker=worker_id,
+                                attempt=record.attempts,
+                            )
+                            if wait is not None:
+                                tel.observe("broker.wait.seconds", wait)
                         await write_frame(
                             writer,
                             {
@@ -502,21 +636,44 @@ class Broker:
                             },
                         )
                 elif kind == "heartbeat":
+                    self.metrics.on_heartbeat()
                     self.ledger.renew(
                         message.get("shard_id", ""), worker_id, time.monotonic()
                     )
                 elif kind == "complete":
+                    now = time.monotonic()
                     job_id = self.ledger.complete(
                         message["shard_id"], message["result"]
                     )
+                    elapsed = self.metrics.on_complete(
+                        message["shard_id"], now, message.get("stats")
+                    )
+                    if tel.enabled:
+                        tel.event(
+                            "broker.complete",
+                            shard=message["shard_id"],
+                            worker=worker_id,
+                        )
+                        if elapsed is not None:
+                            tel.observe("broker.exec.seconds", elapsed)
                     await write_frame(writer, {"type": "ok"})
                     self._notify(job_id)
                 elif kind == "error":
+                    self.metrics.on_worker_error()
+                    self.metrics.on_requeue()
                     job_id = self.ledger.fail(
                         message["shard_id"],
                         worker_id,
                         message.get("message", "worker error"),
                     )
+                    if tel.enabled:
+                        tel.event(
+                            "broker.requeue",
+                            shards=1,
+                            cause="worker-error",
+                            shard=message["shard_id"],
+                            worker=worker_id,
+                        )
                     await write_frame(writer, {"type": "ok"})
                     self._notify(job_id)
                 elif kind == "submit":
@@ -534,6 +691,15 @@ class Broker:
                             writer, {"type": "failed", "error": str(exc)}
                         )
                         continue
+                    self.metrics.on_submit(
+                        self.ledger.job_shards(job_id), time.monotonic()
+                    )
+                    if tel.enabled:
+                        tel.event(
+                            "broker.submit",
+                            job=job_id,
+                            shards=len(message["tasks"]),
+                        )
                     self._events[job_id] = asyncio.Event()
                     await write_frame(
                         writer,
@@ -544,7 +710,12 @@ class Broker:
                     await self._handle_wait(writer, message["job_id"])
                 elif kind == "status":
                     await write_frame(
-                        writer, {"type": "status", **self.ledger.counts()}
+                        writer,
+                        {
+                            "type": "status",
+                            **self.ledger.counts(),
+                            "metrics": self.metrics.snapshot(time.monotonic()),
+                        },
                     )
                 else:
                     await write_frame(
@@ -567,7 +738,17 @@ class Broker:
                     writer, {"type": "failed", "error": f"malformed message: {exc}"}
                 )
         finally:
-            for job_id in self.ledger.release_worker(worker_id):
+            released = self.ledger.release_worker(worker_id)
+            if released:
+                self.metrics.on_requeue(len(released))
+                if tel.enabled:
+                    tel.event(
+                        "broker.requeue",
+                        shards=len(released),
+                        cause="disconnect",
+                        worker=worker_id,
+                    )
+            for job_id in released:
                 self._notify(job_id)
             writer.close()
             with contextlib.suppress(Exception):

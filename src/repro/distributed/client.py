@@ -22,6 +22,7 @@ from __future__ import annotations
 import socket
 import uuid
 
+from ..telemetry import get_telemetry
 from .cache import resolve_cache
 from .wire import (
     decode_result,
@@ -79,6 +80,7 @@ def execute_shards_remote(
     tasks = list(tasks)
     if not tasks:
         return []
+    tel = get_telemetry()
     store = resolve_cache(cache)
     encoded = [encode_task(task) for task in tasks]
     results: list = [None] * len(tasks)
@@ -96,6 +98,15 @@ def execute_shards_remote(
                 misses.append(i)
             else:
                 results[i] = hit
+        hits = len(tasks) - len(misses)
+        if hits:
+            tel.count("client.cache.hits", hits)
+        if misses:
+            tel.count("client.cache.misses", len(misses))
+        if tel.enabled:
+            tel.event(
+                "client.cache", hits=hits, misses=len(misses), shards=len(tasks)
+            )
     if not misses:
         return results
 

@@ -25,9 +25,16 @@ import threading
 import time
 
 from ..parallel.sharding import run_shard
+from ..telemetry import get_telemetry
 from .wire import decode_task, encode_result, parse_endpoint, recv_frame, send_frame
 
 __all__ = ["run_worker"]
+
+#: The per-shard timing keys a worker copies from the result's shard
+#: meta into the ``stats`` dict of its ``complete`` frame — the only
+#: place shard timings cross the wire (results themselves stay
+#: meta-free so the wire format and cache entries are unchanged).
+_STATS_KEYS = ("wall_s", "cpu_s", "runs", "rounds_run")
 
 
 def _heartbeat_loop(
@@ -90,6 +97,7 @@ def run_worker(
     sock.settimeout(None)
     lock = threading.Lock()
     completed = 0
+    tel = get_telemetry()
     try:
         while max_tasks is None or completed < max_tasks:
             with lock:
@@ -113,11 +121,20 @@ def run_worker(
                 daemon=True,
             )
             heartbeat.start()
+            if tel.enabled:
+                tel.event("worker.lease", shard=shard_id)
             try:
                 result = run_shard(decode_task(message["task"]))
             except Exception as exc:
                 stop.set()
                 heartbeat.join()
+                tel.count("worker.errors")
+                if tel.enabled:
+                    tel.event(
+                        "worker.error",
+                        shard=shard_id,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
                 with lock:
                     send_frame(
                         sock,
@@ -133,15 +150,22 @@ def run_worker(
                 continue
             stop.set()
             heartbeat.join()
+            shard_meta = (result.meta or {}).get("shard") or {}
+            stats = {
+                key: shard_meta[key] for key in _STATS_KEYS if key in shard_meta
+            }
+            tel.count("worker.completed")
+            if tel.enabled:
+                tel.event("worker.complete", shard=shard_id, **stats)
             with lock:
-                send_frame(
-                    sock,
-                    {
-                        "type": "complete",
-                        "shard_id": shard_id,
-                        "result": encode_result(result),
-                    },
-                )
+                frame = {
+                    "type": "complete",
+                    "shard_id": shard_id,
+                    "result": encode_result(result),
+                }
+                if stats:
+                    frame["stats"] = stats
+                send_frame(sock, frame)
             if recv_frame(sock) is None:
                 break
             completed += 1

@@ -29,12 +29,15 @@ topology source; plain graphs are wrapped in :class:`StaticTopology`
 
 from __future__ import annotations
 
+import contextlib
+import time
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
 from ..graphs.graph import Graph
+from ..telemetry import get_telemetry
 from .completion import AllVertices, CompletionCriterion, make_completion
 from .observation import FrontierObservation
 from .rules import SpreadRule
@@ -97,6 +100,14 @@ class SpreadResult:
     visited_counts:
         ``(R, rounds_run + 1)`` per-round cumulative distinct-visited
         counts, when requested via ``record_visited``.
+    meta:
+        Observability side-channel (never part of the scientific
+        payload): the sharded runner records per-shard wall/CPU
+        timings and skew here (see
+        :func:`repro.parallel.merge_shard_results`).  Excluded from
+        the wire encoding and from every bit-identity comparison —
+        two runs of the same seed are equal in all other fields even
+        though their ``meta`` timings differ.
     """
 
     finish_times: np.ndarray
@@ -105,6 +116,7 @@ class SpreadResult:
     hit_times: np.ndarray | None = None
     sizes: np.ndarray | None = None
     visited_counts: np.ndarray | None = None
+    meta: dict | None = None
 
     @property
     def all_finished(self) -> bool:
@@ -180,6 +192,14 @@ class SpreadEngine:
         :class:`FrontierObservation` per round, delivered before the
         round's ``graph_at(t)`` call, so the snapshot may react to the
         state about to act on it.
+
+        With telemetry enabled (see :mod:`repro.telemetry`) the run is
+        wrapped in an ``engine.run`` span, and every sampled round
+        emits an ``engine.round`` progress event plus
+        ``engine.round.seconds`` / ``engine.round.occupied``
+        histogram observations.  Instrumentation only *reads* state
+        and clocks — it draws no randomness — so traced and untraced
+        runs are bit-identical.
         """
         rule, topo = self.rule, self.topology
         observer = (
@@ -193,6 +213,63 @@ class SpreadEngine:
         runs = runs_of(state) if runs_of is not None else state.shape[0]
         cap = self.default_cap() if max_rounds is None else int(max_rounds)
 
+        tel = get_telemetry()
+        trace = tel.enabled
+        span = (
+            tel.span(
+                "engine.run",
+                rule=type(rule).__name__,
+                topology=getattr(topo, "name", type(topo).__name__),
+                runs=int(runs),
+                n=int(n),
+                cap=int(cap),
+            )
+            if trace
+            else None
+        )
+        with span if span is not None else contextlib.nullcontext():
+            result = self._run_loop(
+                rule,
+                topo,
+                observer,
+                state,
+                rng,
+                runs=runs,
+                n=n,
+                cap=cap,
+                track_hits=track_hits,
+                record_sizes=record_sizes,
+                record_visited=record_visited,
+                on_round=on_round,
+                tel=tel,
+                trace=trace,
+            )
+            if span is not None:
+                span.annotate(
+                    rounds_run=int(result.rounds_run),
+                    finished=int((result.finish_times >= 0).sum()),
+                )
+        return result
+
+    def _run_loop(
+        self,
+        rule,
+        topo,
+        observer,
+        state: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        runs: int,
+        n: int,
+        cap: int,
+        track_hits: bool,
+        record_sizes: bool,
+        record_visited: bool,
+        on_round,
+        tel,
+        trace: bool,
+    ) -> SpreadResult:
+        """The round loop proper (see :meth:`run` for the contract)."""
         occ = rule.occupancy(state, n)
         monotone = rule.completion_basis == "visited"
         visited = remaining = None
@@ -253,10 +330,32 @@ class SpreadEngine:
                         alive=alive,
                     )
                 )
+            # Sampled per-round progress: read-only aggregates of the
+            # state entering round t (no draws, so traced == untraced).
+            emit = trace and tel.sampled(t)
+            if emit:
+                alive_count = int(alive.sum())
+                occupied_now = int(rule.occupancy(state, n).sum())
+                tel.event(
+                    "engine.round",
+                    t=t,
+                    alive=alive_count,
+                    finished=int(runs - alive_count),
+                    occupied=occupied_now,
+                    informed=(
+                        None if visited is None else int(visited.sum())
+                    ),
+                )
+                tel.observe("engine.round.occupied", float(occupied_now))
+                round_wall0 = time.perf_counter()
             graph = topo.graph_at(t)
             if on_round is not None:
                 on_round(t, graph, state)
             state = rule.step(graph, state, alive, rng)
+            if emit:
+                tel.observe(
+                    "engine.round.seconds", time.perf_counter() - round_wall0
+                )
             t += 1
             if use_packed_done:
                 times[alive & finished(state)] = t

@@ -34,15 +34,18 @@ worker.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing as mp
 import os
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
 
 from ..graphs.graph import Graph, SharedGraph
 from ..stats.rng import seed_sequence_from, spawn_seeds
+from ..telemetry import get_telemetry, seed_id_parts, summarize_values
 from .batch import plan_batches_for
 from .pool import default_workers
 
@@ -161,6 +164,13 @@ def run_shard(task: ShardTask):
     Module-level (and so picklable) on purpose: this is the pool worker
     entry point, but the serial fallback calls it too, so both paths
     run literally the same code.
+
+    Observability: the execution is wrapped in a ``shard.run``
+    telemetry span whose id derives from the shard's spawned seed
+    (deterministic across machines and worker counts — the spawn key
+    encodes the shard index), and the returned result carries its
+    wall/CPU timings in ``meta["shard"]`` — always, telemetry sink or
+    not, so :func:`merge_shard_results` can report shard skew.
     """
     from ..engine.engine import SpreadEngine
 
@@ -176,13 +186,39 @@ def run_shard(task: ShardTask):
             _ATTACHED_GRAPHS[topology.shm_name] = graph
         topology = graph
     engine = SpreadEngine(task.rule, topology, task.completion)
-    return engine.run(
-        task.state,
-        np.random.default_rng(task.seed),
-        max_rounds=task.max_rounds,
-        track_hits=task.track_hits,
-        record_sizes=task.record_sizes,
-        record_visited=task.record_visited,
+    tel = get_telemetry()
+    span = (
+        tel.span(
+            "shard.run",
+            id_parts=seed_id_parts(task.seed),
+            runs=int(task.state.shape[0]),
+        )
+        if tel.enabled
+        else None
+    )
+    wall0, cpu0 = time.perf_counter(), time.process_time()
+    with span if span is not None else contextlib.nullcontext():
+        result = engine.run(
+            task.state,
+            np.random.default_rng(task.seed),
+            max_rounds=task.max_rounds,
+            track_hits=task.track_hits,
+            record_sizes=task.record_sizes,
+            record_visited=task.record_visited,
+        )
+        if span is not None:
+            span.annotate(rounds_run=int(result.rounds_run))
+    return replace(
+        result,
+        meta={
+            "shard": {
+                "runs": int(task.state.shape[0]),
+                "rounds_run": int(result.rounds_run),
+                "wall_s": time.perf_counter() - wall0,
+                "cpu_s": time.process_time() - cpu0,
+                "pid": os.getpid(),
+            }
+        },
     )
 
 
@@ -271,6 +307,37 @@ def _pad_trajectories(parts: list[np.ndarray], width: int) -> np.ndarray:
     return np.concatenate(padded, axis=0)
 
 
+def _merge_meta(results: Sequence) -> dict | None:
+    """Aggregate per-shard timing metas into the merged result's meta.
+
+    Shards that carry no timings (results decoded from the wire, which
+    deliberately strips ``meta``) are skipped; with none at all the
+    merged meta is None.  ``skew`` is max/median shard wall time — the
+    load-balance figure the ROADMAP's bench caveat asks for.
+    """
+    shards = []
+    for index, result in enumerate(results):
+        meta = getattr(result, "meta", None)
+        if not meta or "shard" not in meta:
+            continue
+        shards.append({"index": index, **meta["shard"]})
+    if not shards:
+        return None
+    walls = [s["wall_s"] for s in shards]
+    wall_stats = summarize_values(walls)
+    return {
+        "shards": shards,
+        "wall_s": wall_stats,
+        "cpu_s": summarize_values([s["cpu_s"] for s in shards]),
+        "skew": (
+            wall_stats["max"] / wall_stats["p50"]
+            if wall_stats["p50"] > 0
+            else 1.0
+        ),
+        "workers": len({s["pid"] for s in shards}),
+    }
+
+
 def merge_shard_results(results: Sequence):
     """Merge per-shard SpreadResults into one, in shard order.
 
@@ -280,6 +347,10 @@ def merge_shard_results(results: Sequence):
     :func:`_pad_trajectories`).  An empty sequence (the R = 0 plan)
     merges into a well-formed zero-run result rather than raising, so
     callers need no guard around degenerate plans.
+
+    The merged ``meta`` aggregates whatever per-shard timings the
+    results carry (see :func:`_merge_meta`): the shard table, wall/CPU
+    summaries, and the max/median wall-time ``skew``.
     """
     from ..engine.engine import SpreadResult
 
@@ -291,7 +362,7 @@ def merge_shard_results(results: Sequence):
             final_state=np.empty((0, 0), dtype=bool),
         )
     if len(results) == 1:
-        return results[0]
+        return replace(results[0], meta=_merge_meta(results))
     width = max(r.rounds_run for r in results) + 1
     return SpreadResult(
         finish_times=np.concatenate([r.finish_times for r in results]),
@@ -312,6 +383,7 @@ def merge_shard_results(results: Sequence):
             if results[0].visited_counts is not None
             else None
         ),
+        meta=_merge_meta(results),
     )
 
 
@@ -402,52 +474,71 @@ def run_sharded(
     shard_sizes = plan_shards(
         rule, runs, topo.n, budget_bytes=budget_bytes, max_shard=max_shard
     )
-    seeds = spawn_seeds(seed_sequence_from(seed), len(shard_sizes))
+    master = seed_sequence_from(seed)
+    seeds = spawn_seeds(master, len(shard_sizes))
     workers = default_workers() if workers is None else int(workers)
     workers = min(workers, len(shard_sizes))
 
-    shared: SharedGraph | None = None
-    ship: object = topo
-    if endpoint is None and workers > 1 and isinstance(topo, StaticTopology):
-        shared = topo.base.to_shared()
-        ship = shared
-    # Observing topologies (adaptive adversaries) accumulate a per-run
-    # observation log, so one instance cannot serve several engine
-    # invocations: every shard gets its own pristine replay.  Oblivious
-    # sequences return themselves and still ship as one object.
-    fresh = getattr(topo, "fresh_replay", None)
-    per_shard_topo = (
-        fresh if getattr(topo, "observes_process", False) and fresh else None
+    tel = get_telemetry()
+    span = (
+        tel.span(
+            "engine.run_sharded",
+            id_parts=seed_id_parts(master),
+            runs=int(runs),
+            shards=len(shard_sizes),
+            workers=int(workers),
+            transport="broker" if endpoint is not None else "pool",
+        )
+        if tel.enabled
+        else None
     )
-    try:
-        bounds = np.concatenate([[0], np.cumsum(shard_sizes)])
-        tasks = [
-            ShardTask(
-                rule=rule,
-                topology=ship if per_shard_topo is None else per_shard_topo(),
-                completion=completion,
-                state=state[lo:hi],
-                seed=s,
-                max_rounds=max_rounds,
-                track_hits=track_hits,
-                record_sizes=record_sizes,
-                record_visited=record_visited,
-            )
-            for lo, hi, s in zip(bounds[:-1], bounds[1:], seeds)
-        ]
-        if endpoint is not None:
-            from ..distributed.client import execute_shards_remote
+    with span if span is not None else contextlib.nullcontext():
+        shared: SharedGraph | None = None
+        ship: object = topo
+        if endpoint is None and workers > 1 and isinstance(topo, StaticTopology):
+            shared = topo.base.to_shared()
+            ship = shared
+        # Observing topologies (adaptive adversaries) accumulate a per-run
+        # observation log, so one instance cannot serve several engine
+        # invocations: every shard gets its own pristine replay.  Oblivious
+        # sequences return themselves and still ship as one object.
+        fresh = getattr(topo, "fresh_replay", None)
+        per_shard_topo = (
+            fresh if getattr(topo, "observes_process", False) and fresh else None
+        )
+        try:
+            bounds = np.concatenate([[0], np.cumsum(shard_sizes)])
+            tasks = [
+                ShardTask(
+                    rule=rule,
+                    topology=ship if per_shard_topo is None else per_shard_topo(),
+                    completion=completion,
+                    state=state[lo:hi],
+                    seed=s,
+                    max_rounds=max_rounds,
+                    track_hits=track_hits,
+                    record_sizes=record_sizes,
+                    record_visited=record_visited,
+                )
+                for lo, hi, s in zip(bounds[:-1], bounds[1:], seeds)
+            ]
+            if endpoint is not None:
+                from ..distributed.client import execute_shards_remote
 
-            results = execute_shards_remote(tasks, endpoint, cache=cache)
-        else:
-            results = execute_shards(
-                tasks, workers, mp_context=mp_context, schedule=schedule
-            )
-    finally:
-        if shared is not None:
-            # Unlink first: through the still-open creator handle it
-            # also drops the resource-tracker registration on every
-            # Python version (see SharedGraph.unlink).
-            shared.unlink()
-            shared.close()
-    return merge_shard_results(results)
+                results = execute_shards_remote(tasks, endpoint, cache=cache)
+            else:
+                results = execute_shards(
+                    tasks, workers, mp_context=mp_context, schedule=schedule
+                )
+        finally:
+            if shared is not None:
+                # Unlink first: through the still-open creator handle it
+                # also drops the resource-tracker registration on every
+                # Python version (see SharedGraph.unlink).
+                shared.unlink()
+                shared.close()
+        merged = merge_shard_results(results)
+        if span is not None:
+            skew = (merged.meta or {}).get("skew")
+            span.annotate(rounds_run=int(merged.rounds_run), skew=skew)
+    return merged

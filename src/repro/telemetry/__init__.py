@@ -1,0 +1,69 @@
+"""repro.telemetry — structured tracing and metrics for the execution stack.
+
+A zero-dependency observation layer: the engine, the sharded runner,
+and the distributed broker/worker/client all report what they are
+doing — per-round progress, per-shard timings, queue lifecycle events,
+cache hits — through one process-local :class:`Telemetry` registry
+with pluggable sinks.  Tracing is off by default (the null sink: one
+branch per instrumented site) and never perturbs results: enabling it
+leaves every engine, sharded, and distributed output bit-identical.
+
+Quickstart::
+
+    from repro.telemetry import configure, JsonlSink
+
+    configure(JsonlSink("trace.jsonl"), sample_every=4)
+    engine.run_sharded(state, seed=7)          # instrumented end to end
+    # then: repro trace summarize trace.jsonl
+
+Or from the CLI/environment: every execution command accepts
+``--telemetry PATH`` and honours ``REPRO_TELEMETRY`` /
+``REPRO_TELEMETRY_SAMPLE``.
+"""
+
+from .core import (
+    TELEMETRY_ENV_VAR,
+    TELEMETRY_SAMPLE_ENV_VAR,
+    Span,
+    Telemetry,
+    configure,
+    configure_from_env,
+    get_telemetry,
+    seed_id_parts,
+    span_id_from,
+    summarize_values,
+)
+from .sinks import NULL_SINK, JsonlSink, MemorySink, NullSink, load_jsonl
+from .summarize import (
+    SpanNode,
+    TraceSummary,
+    load_trace,
+    render_trace,
+    summarize_trace,
+)
+
+__all__ = [
+    # core
+    "Telemetry",
+    "Span",
+    "configure",
+    "configure_from_env",
+    "get_telemetry",
+    "span_id_from",
+    "seed_id_parts",
+    "summarize_values",
+    "TELEMETRY_ENV_VAR",
+    "TELEMETRY_SAMPLE_ENV_VAR",
+    # sinks
+    "NullSink",
+    "NULL_SINK",
+    "MemorySink",
+    "JsonlSink",
+    "load_jsonl",
+    # summarize
+    "SpanNode",
+    "TraceSummary",
+    "load_trace",
+    "summarize_trace",
+    "render_trace",
+]

@@ -1,0 +1,387 @@
+"""The structured telemetry core: spans, counters, histograms, registry.
+
+Everything the repo's execution stack reports about itself flows
+through one process-local :class:`Telemetry` registry.  Design rules,
+in the order they mattered:
+
+* **Never perturb results.**  Instrumentation only reads process
+  state (occupancy masks, counts, clocks) — it draws no randomness
+  and mutates nothing the engine computes with.  The parity tests in
+  ``tests/telemetry`` pin this: full tracing on or off, every
+  engine/sharded/distributed output is bit-identical.
+* **Disabled means one branch.**  The default sink is
+  :data:`~repro.telemetry.sinks.NULL_SINK`; :attr:`Telemetry.enabled`
+  is an identity check against it, so hot paths guard with
+  ``if tel.enabled:`` and pay nothing else when tracing is off.
+* **Deterministic span identity.**  :func:`span_id_from` hashes
+  canonical JSON of its parts, and shard spans derive their parts
+  from the shard's spawned :class:`~numpy.random.SeedSequence`
+  (entropy + spawn key — which encodes the shard index) — so the same
+  run produces the same span ids on every machine, worker count, and
+  arrival order, and traces from different processes stitch together.
+
+Records are flat JSON-able dicts (see :mod:`repro.telemetry.sinks`
+for shapes); ``repro trace summarize`` and
+:mod:`repro.telemetry.summarize` consume them.
+
+Environment knobs: ``REPRO_TELEMETRY`` names a JSONL trace path
+(empty/``0``/``off`` disables), ``REPRO_TELEMETRY_SAMPLE`` sets the
+per-round sampling stride (default 1: every round).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import threading
+import time
+
+from .sinks import NULL_SINK, JsonlSink
+
+__all__ = [
+    "Telemetry",
+    "Span",
+    "span_id_from",
+    "seed_id_parts",
+    "get_telemetry",
+    "configure",
+    "configure_from_env",
+    "TELEMETRY_ENV_VAR",
+    "TELEMETRY_SAMPLE_ENV_VAR",
+]
+
+#: Environment variable naming the JSONL trace path (CLI ``--telemetry``
+#: overrides it; empty/``0``/``off`` disables).
+TELEMETRY_ENV_VAR = "REPRO_TELEMETRY"
+
+#: Environment variable setting the per-round event sampling stride.
+TELEMETRY_SAMPLE_ENV_VAR = "REPRO_TELEMETRY_SAMPLE"
+
+
+def _canonical_part(part):
+    """Coerce one id part into a canonical JSON-able value."""
+    if part is None or isinstance(part, (bool, int, str)):
+        return part
+    if isinstance(part, float):
+        return repr(part)
+    if isinstance(part, (list, tuple)):
+        return [_canonical_part(p) for p in part]
+    return str(part)
+
+
+def span_id_from(*parts) -> str:
+    """A deterministic 16-hex-digit span id from canonical ``parts``.
+
+    Equal parts give equal ids on every machine and process — the
+    property that lets a sharded run's spans be named before the
+    shards are dispatched, and lets traces from worker processes be
+    stitched under the parent's span tree.
+    """
+    payload = json.dumps(
+        [_canonical_part(p) for p in parts],
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def seed_id_parts(seed) -> list:
+    """Canonical id parts of a :class:`numpy.random.SeedSequence`.
+
+    Entropy plus spawn key: the spawn key of a shard seed ends in the
+    shard index (:func:`repro.stats.rng.spawn_seeds` spawns children
+    ``0..k-1``), so these parts realise the "(run seed, shard index)"
+    half of the deterministic span-id contract; the round index is
+    carried by the per-round records nested under the span.
+    """
+    entropy = getattr(seed, "entropy", None)
+    spawn_key = getattr(seed, "spawn_key", ())
+    if isinstance(entropy, (list, tuple)):
+        entropy = [int(e) for e in entropy]
+    elif entropy is not None:
+        entropy = int(entropy)
+    return [entropy, [int(k) for k in spawn_key]]
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (q in [0, 1])."""
+    if not sorted_values:
+        return math.nan
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+class Span:
+    """One timed region of a trace, usable as a context manager.
+
+    Spans record wall and CPU durations (``perf_counter`` /
+    ``process_time``) and emit ``span-start`` / ``span-end`` records.
+    :meth:`annotate` attaches fields that are only known at the end
+    (rounds run, shards merged) to the ``span-end`` record.
+    """
+
+    __slots__ = (
+        "telemetry",
+        "name",
+        "span_id",
+        "parent_id",
+        "fields",
+        "wall_s",
+        "cpu_s",
+        "_wall0",
+        "_cpu0",
+    )
+
+    def __init__(self, telemetry: "Telemetry", name: str, span_id: str, parent_id, fields: dict):
+        self.telemetry = telemetry
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.fields = fields
+        self.wall_s: float | None = None
+        self.cpu_s: float | None = None
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def annotate(self, **fields) -> None:
+        """Attach end-of-span fields (merged into the span-end record)."""
+        self.fields.update(fields)
+
+    def __enter__(self) -> "Span":
+        self.telemetry._enter_span(self)
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        self.telemetry._record(
+            "span-start",
+            self.name,
+            span=self.span_id,
+            parent=self.parent_id,
+            fields=dict(self.fields),
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.wall_s = time.perf_counter() - self._wall0
+        self.cpu_s = time.process_time() - self._cpu0
+        self.telemetry._exit_span(self)
+        fields = dict(self.fields)
+        if exc_type is not None:
+            fields["error"] = exc_type.__name__
+        self.telemetry._record(
+            "span-end",
+            self.name,
+            span=self.span_id,
+            parent=self.parent_id,
+            wall_s=self.wall_s,
+            cpu_s=self.cpu_s,
+            fields=fields,
+        )
+
+
+class Telemetry:
+    """Process-local registry: a sink plus aggregated counters/histograms.
+
+    Counters and histograms aggregate in memory on every call — they
+    are cheap and rare (per round or per shard, never per vertex) and
+    feed :meth:`snapshot` even without a sink.  *Records* (the JSONL
+    stream) are only produced when a real sink is configured; hot
+    paths should guard bulk instrumentation with :attr:`enabled`.
+
+    ``sample_every`` is the per-round sampling stride: engine round
+    events fire only when ``sampled(t)`` is true (span and lifecycle
+    records always fire — they are O(shards), not O(rounds)).
+    """
+
+    def __init__(self, sink=None, *, sample_every: int = 1) -> None:
+        self.sink = NULL_SINK if sink is None else sink
+        self.sample_every = max(1, int(sample_every))
+        self._counters: dict[str, float] = {}
+        self._histograms: dict[str, list[float]] = {}
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._anon_spans = 0
+
+    # -- state ----------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """True iff a real sink is configured (one identity check)."""
+        return self.sink is not NULL_SINK
+
+    def sampled(self, t: int) -> bool:
+        """Whether round ``t`` falls on the sampling stride."""
+        return t % self.sample_every == 0
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span_id(self) -> str | None:
+        """The innermost open span's id in this thread (None outside)."""
+        stack = self._stack()
+        return stack[-1].span_id if stack else None
+
+    def _enter_span(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _exit_span(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    # -- emission -------------------------------------------------------
+    def _record(self, kind: str, name: str, **extra) -> None:
+        if not self.enabled:
+            return
+        record = {"kind": kind, "name": name, "ts": time.time(), "pid": os.getpid()}
+        record.update(extra)
+        self.sink.write(record)
+
+    def span(self, name: str, *, id_parts=None, **fields) -> Span:
+        """Open a span (use as a context manager).
+
+        ``id_parts`` makes the id deterministic via
+        :func:`span_id_from`; without them the id derives from the
+        parent span and a process-local counter (stable within one
+        process, which is all an unseeded caller can promise).
+        """
+        parent = self.current_span_id()
+        if id_parts is not None:
+            sid = span_id_from(name, *id_parts)
+        else:
+            with self._lock:
+                self._anon_spans += 1
+                sid = span_id_from(name, parent, self._anon_spans)
+        return Span(self, name, sid, parent, dict(fields))
+
+    def event(self, name: str, **fields) -> None:
+        """Emit one point-in-time record under the current span."""
+        self._record("point", name, span=self.current_span_id(), fields=fields)
+
+    def count(self, name: str, value: float = 1) -> float:
+        """Bump a monotonic counter; returns the new total.
+
+        Aggregates even when disabled (so ``repro status`` and job
+        summaries can report cache hit/miss counts without a sink);
+        emits a ``counter`` record only when enabled.
+        """
+        with self._lock:
+            total = self._counters.get(name, 0) + value
+            self._counters[name] = total
+        self._record(
+            "counter", name, span=self.current_span_id(), value=value, total=total
+        )
+        return total
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one observation to a histogram (and record it if enabled)."""
+        value = float(value)
+        with self._lock:
+            self._histograms.setdefault(name, []).append(value)
+        self._record(
+            "histogram", name, span=self.current_span_id(), value=value
+        )
+
+    # -- aggregation ----------------------------------------------------
+    def counters(self) -> dict[str, float]:
+        """A copy of the counter totals."""
+        with self._lock:
+            return dict(self._counters)
+
+    def histogram_summary(self, name: str) -> dict | None:
+        """Count/mean/min/max and p50/p90/p99 of one histogram."""
+        with self._lock:
+            values = list(self._histograms.get(name, ()))
+        return summarize_values(values)
+
+    def snapshot(self) -> dict:
+        """Counters plus a summary of every histogram (JSON-able)."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = {k: list(v) for k, v in self._histograms.items()}
+        return {
+            "counters": counters,
+            "histograms": {
+                name: summarize_values(values)
+                for name, values in histograms.items()
+            },
+        }
+
+    def reset(self) -> None:
+        """Clear aggregated counters and histograms (sink untouched)."""
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+
+    def flush(self) -> None:
+        """Flush the sink."""
+        self.sink.flush()
+
+
+def summarize_values(values: list[float]) -> dict | None:
+    """Summary statistics of a value list (None when empty)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    return {
+        "count": len(ordered),
+        "mean": sum(ordered) / len(ordered),
+        "min": ordered[0],
+        "max": ordered[-1],
+        "p50": _percentile(ordered, 0.50),
+        "p90": _percentile(ordered, 0.90),
+        "p99": _percentile(ordered, 0.99),
+    }
+
+
+# ----------------------------------------------------------------------
+# The process-local registry
+# ----------------------------------------------------------------------
+_GLOBAL = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The process-local registry every instrumented module consults."""
+    return _GLOBAL
+
+
+def configure(sink=None, *, sample_every: int | None = None) -> Telemetry:
+    """Replace the global registry's sink (None disables tracing).
+
+    Aggregated counters/histograms survive reconfiguration only in the
+    sense that a fresh registry starts empty — ``configure`` installs
+    a new :class:`Telemetry`, which is what tests rely on for
+    isolation.  Returns the new registry.
+    """
+    global _GLOBAL
+    stride = 1 if sample_every is None else sample_every
+    _GLOBAL = Telemetry(sink, sample_every=stride)
+    return _GLOBAL
+
+
+def configure_from_env(path=None) -> Telemetry:
+    """Configure from ``REPRO_TELEMETRY`` / ``REPRO_TELEMETRY_SAMPLE``.
+
+    ``path`` (the CLI ``--telemetry`` value) overrides the environment
+    variable.  Empty, ``0`` and ``off`` disable tracing.  Returns the
+    (re)configured global registry; when neither source names a path
+    the registry is left exactly as it is, so library callers can
+    configure programmatically without the environment fighting them.
+    """
+    spec = path if path is not None else os.environ.get(TELEMETRY_ENV_VAR)
+    if spec is None:
+        return _GLOBAL
+    stride_env = os.environ.get(TELEMETRY_SAMPLE_ENV_VAR, "").strip()
+    try:
+        stride = int(stride_env) if stride_env else 1
+    except ValueError:
+        raise ValueError(
+            f"{TELEMETRY_SAMPLE_ENV_VAR} must be a positive integer, "
+            f"got {stride_env!r}"
+        ) from None
+    if str(spec).strip().lower() in ("", "0", "off"):
+        return configure(None, sample_every=stride)
+    return configure(JsonlSink(spec), sample_every=stride)

@@ -1,0 +1,150 @@
+"""Telemetry sinks: where emitted records go.
+
+A sink is anything with ``write(record: dict)`` / ``flush()`` /
+``close()``.  Three implementations cover every deployment mode:
+
+* :class:`NullSink` — the always-on default.  Its singleton,
+  :data:`NULL_SINK`, is what :class:`~repro.telemetry.Telemetry`
+  compares against to decide whether tracing is enabled, so an
+  instrumented hot path costs exactly one attribute load and one
+  identity branch when telemetry is off.
+* :class:`MemorySink` — an in-process record list, for tests and for
+  benchmark harnesses that want to summarise a run without touching
+  the filesystem.
+* :class:`JsonlSink` — one JSON object per line, append-mode, written
+  under a lock so the worker heartbeat thread and the main loop never
+  interleave partial lines.  The file format is the input of
+  ``repro trace summarize`` and of
+  :func:`repro.telemetry.summarize.load_trace`.
+
+Records are plain JSON-able dicts by construction (the
+:class:`Telemetry` emitters only put scalars and short strings in
+them), so ``json.dumps`` never needs a custom encoder.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "NullSink",
+    "NULL_SINK",
+    "MemorySink",
+    "JsonlSink",
+    "load_jsonl",
+]
+
+
+class NullSink:
+    """Discard every record (the default sink: telemetry disabled)."""
+
+    def write(self, record: dict) -> None:
+        """Drop the record."""
+
+    def flush(self) -> None:
+        """Nothing buffered, nothing to do."""
+
+    def close(self) -> None:
+        """Nothing open, nothing to do."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NullSink()"
+
+
+#: The shared disabled sink.  ``Telemetry.enabled`` is an identity
+#: check against this object, so "telemetry off" is one branch.
+NULL_SINK = NullSink()
+
+
+class MemorySink:
+    """Collect records in a list (tests, in-process summaries)."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def write(self, record: dict) -> None:
+        """Append the record."""
+        self.records.append(record)
+
+    def flush(self) -> None:
+        """Records are already in memory."""
+
+    def close(self) -> None:
+        """Keep the records readable after close."""
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MemorySink({len(self.records)} records)"
+
+
+class JsonlSink:
+    """Append records to a file, one JSON object per line.
+
+    The file is opened lazily on the first write (so configuring
+    telemetry never creates empty trace files) and appended to, so
+    several commands may share one trace path — ``repro trace
+    summarize`` groups by process/span.  Writes are line-buffered and
+    serialised under a lock: a record is either fully on disk or not
+    at all, never interleaved.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._file: io.TextIOWrapper | None = None
+        self._lock = threading.Lock()
+
+    def write(self, record: dict) -> None:
+        """Serialise one record as a JSON line."""
+        line = json.dumps(record, separators=(",", ":"), allow_nan=False)
+        with self._lock:
+            if self._file is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._file = self.path.open("a", buffering=1)
+            self._file.write(line + "\n")
+
+    def flush(self) -> None:
+        """Flush the underlying file (no-op before the first write)."""
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+
+    def close(self) -> None:
+        """Close the file; a later write transparently reopens it."""
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JsonlSink({str(self.path)!r})"
+
+
+def load_jsonl(path) -> Iterator[dict]:
+    """Yield the records of a JSONL trace file, in order.
+
+    Blank lines are skipped; a malformed line raises ``ValueError``
+    naming the line number (the CI smoke leg asserts traces stay
+    valid).
+    """
+    with Path(path).open() as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}: line {lineno} is not valid JSON: {exc}"
+                ) from None
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{path}: line {lineno} is not a JSON object"
+                )
+            yield record

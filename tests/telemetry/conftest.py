@@ -1,0 +1,18 @@
+"""Telemetry test isolation: every test gets a fresh null registry.
+
+The registry is process-global (that is the point — the engine,
+sharding and distributed layers all reach it through
+``get_telemetry()``), so tests that configure a real sink must not
+leak it into unrelated tests.
+"""
+
+import pytest
+
+from repro.telemetry import configure
+
+
+@pytest.fixture(autouse=True)
+def _fresh_telemetry():
+    configure(None)
+    yield
+    configure(None)

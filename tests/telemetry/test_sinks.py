@@ -1,0 +1,98 @@
+"""Sink round-trips: memory, JSONL append/load, null."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    NULL_SINK,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    Telemetry,
+    load_jsonl,
+)
+
+
+class TestNullSink:
+    def test_write_is_noop(self):
+        NULL_SINK.write({"kind": "point"})
+        NULL_SINK.flush()
+        NULL_SINK.close()
+
+    def test_singleton_identity_is_the_disabled_check(self):
+        assert Telemetry().sink is NULL_SINK
+        assert Telemetry(NullSink()).enabled  # a *different* instance counts
+
+
+class TestMemorySink:
+    def test_records_accumulate_in_order(self):
+        sink = MemorySink()
+        sink.write({"kind": "point", "name": "a"})
+        sink.write({"kind": "point", "name": "b"})
+        assert [r["name"] for r in sink.records] == ["a", "b"]
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.write({"kind": "point", "name": "x", "fields": {"t": 1}})
+        sink.write({"kind": "counter", "name": "c", "value": 2})
+        sink.close()
+        records = list(load_jsonl(path))
+        assert len(records) == 2
+        assert records[0]["name"] == "x"
+        assert records[1]["value"] == 2
+
+    def test_appends_across_reopen(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        first = JsonlSink(path)
+        first.write({"kind": "point", "name": "a"})
+        first.close()
+        second = JsonlSink(path)
+        second.write({"kind": "point", "name": "b"})
+        second.close()
+        assert [r["name"] for r in load_jsonl(path)] == ["a", "b"]
+
+    def test_lazy_open_creates_no_file_until_write(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        JsonlSink(path)
+        assert not path.exists()
+
+    def test_through_telemetry_registry(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tel = Telemetry(JsonlSink(path))
+        with tel.span("s", id_parts=[1]):
+            tel.event("e", t=0)
+        tel.flush()
+        kinds = [r["kind"] for r in load_jsonl(path)]
+        assert kinds == ["span-start", "point", "span-end"]
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tel = Telemetry(JsonlSink(path))
+        tel.observe("h", 0.25)
+        tel.count("c")
+        tel.flush()
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+
+class TestLoadJsonl:
+    def test_invalid_line_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "point"}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            list(load_jsonl(path))
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError):
+            list(load_jsonl(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "point", "name": "a"}\n\n')
+        assert len(list(load_jsonl(path))) == 1

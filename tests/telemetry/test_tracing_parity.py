@@ -1,0 +1,154 @@
+"""Telemetry must never perturb results.
+
+The load-bearing contract of the whole subsystem: with full tracing
+enabled (sample stride 1, a real JSONL sink) every execution tier —
+serial engine, sharded multiprocess, distributed broker/worker —
+returns outputs bit-identical to the same run with telemetry off.
+Instrumentation draws no randomness and mutates nothing the engine
+computes with; these tests pin that.
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.core.branching import make_policy
+from repro.distributed import Broker
+from repro.distributed.worker import run_worker
+from repro.engine import BipsRule, CobraRule, SpreadEngine
+from repro.graphs import random_regular_graph
+from repro.telemetry import JsonlSink, configure, load_jsonl
+from repro.dynamics import RewiringSequence
+
+RUNS = 24
+MAX_SHARD = 8
+_CTX = mp.get_context("fork")
+
+
+def _engine(dynamic=False):
+    graph = random_regular_graph(20, 4, rng=5)
+    topology = RewiringSequence(graph, 2, seed=31) if dynamic else graph
+    return SpreadEngine(CobraRule(make_policy(2)), topology), graph.n
+
+
+def _state(n):
+    state = np.zeros((RUNS, n), dtype=bool)
+    state[:, 0] = True
+    return state
+
+
+def _fields(result):
+    return (
+        result.finish_times,
+        result.rounds_run,
+        result.final_state,
+        result.hit_times,
+        result.sizes,
+        result.visited_counts,
+    )
+
+
+def _assert_identical(a, b):
+    for left, right in zip(_fields(a), _fields(b)):
+        if left is None or isinstance(left, int):
+            assert left == right
+        else:
+            assert np.array_equal(left, right)
+
+
+@pytest.mark.parametrize("dynamic", [False, True], ids=["static", "dynamic"])
+class TestSerialParity:
+    def test_engine_run_bit_identical_with_tracing(self, tmp_path, dynamic):
+        engine, n = _engine(dynamic)
+        rng_off = np.random.default_rng(77)
+        configure(None)
+        reference = engine.run(
+            _state(n), rng_off, track_hits=True, record_sizes=True,
+            record_visited=True,
+        )
+
+        rng_on = np.random.default_rng(77)
+        configure(JsonlSink(tmp_path / "t.jsonl"), sample_every=1)
+        traced = engine.run(
+            _state(n), rng_on, track_hits=True, record_sizes=True,
+            record_visited=True,
+        )
+        configure(None)
+        _assert_identical(reference, traced)
+        # The trace actually recorded the run (spans + round events).
+        kinds = {r["kind"] for r in load_jsonl(tmp_path / "t.jsonl")}
+        assert {"span-start", "span-end", "point"} <= kinds
+
+
+class TestShardedParity:
+    def test_run_sharded_bit_identical_with_tracing(self, tmp_path):
+        engine, n = _engine()
+        configure(None)
+        reference = engine.run_sharded(
+            _state(n), 123, workers=2, track_hits=True, max_shard=MAX_SHARD
+        )
+
+        configure(JsonlSink(tmp_path / "t.jsonl"), sample_every=1)
+        traced = engine.run_sharded(
+            _state(n), 123, workers=2, track_hits=True, max_shard=MAX_SHARD
+        )
+        configure(None)
+        _assert_identical(reference, traced)
+
+    def test_meta_is_observability_only(self):
+        engine, n = _engine()
+        serial = engine.run(_state(n), np.random.default_rng(123))
+        sharded = engine.run_sharded(_state(n), 9, workers=2, max_shard=MAX_SHARD)
+        assert serial.meta is None
+        assert sharded.meta is not None
+        shards = sharded.meta["shards"]
+        assert len(shards) >= 2
+        assert all(s["wall_s"] >= 0.0 for s in shards)
+        assert sharded.meta["skew"] >= 1.0
+        # meta never participates in equality-of-results comparisons:
+        # the merged fields match a meta-free serial reference.
+        reference = engine.run_sharded(_state(n), 9, workers=1, max_shard=MAX_SHARD)
+        _assert_identical(reference, sharded)
+
+
+class TestDistributedParity:
+    def test_run_distributed_bit_identical_with_tracing(self, tmp_path):
+        engine, n = _engine()
+        configure(None)
+        reference = engine.run_sharded(
+            _state(n), 123, workers=1, track_hits=True, max_shard=MAX_SHARD
+        )
+        with Broker(lease_timeout=15.0) as broker:
+            procs = [
+                _CTX.Process(
+                    target=run_worker,
+                    args=(broker.address,),
+                    kwargs={"poll_interval": 0.05},
+                    daemon=True,
+                )
+                for _ in range(2)
+            ]
+            for proc in procs:
+                proc.start()
+            try:
+                configure(JsonlSink(tmp_path / "t.jsonl"), sample_every=1)
+                traced = engine.run_distributed(
+                    _state(n),
+                    123,
+                    endpoint=broker.address,
+                    track_hits=True,
+                    max_shard=MAX_SHARD,
+                    cache=None,
+                )
+                configure(None)
+            finally:
+                for proc in procs:
+                    proc.terminate()
+                for proc in procs:
+                    proc.join(timeout=5)
+        _assert_identical(reference, traced)
+        # Wire-decoded shard results carry no per-shard meta (timings
+        # travel via complete-frame stats instead), so the merged meta
+        # is absent — never invented from thin air.
+        assert traced.meta is None

@@ -33,6 +33,7 @@ class TestTopLevelApi:
         import repro.graphs
         import repro.parallel
         import repro.stats
+        import repro.telemetry
         import repro.theory
 
         for mod in (
@@ -46,6 +47,7 @@ class TestTopLevelApi:
             repro.graphs,
             repro.parallel,
             repro.stats,
+            repro.telemetry,
             repro.theory,
         ):
             assert mod.__all__
