@@ -14,7 +14,10 @@ at the repo root via :mod:`benchmarks.record`, so the speedup
 trajectory is tracked across PRs.  The pytest gate asserts the ≥ 3×
 wall-clock win of 4 workers over ``run_batch`` — on machines that
 actually have ≥ 4 CPUs (it records, but skips the assertion, on
-smaller boxes: fan-out cannot beat the hardware).
+smaller boxes: fan-out cannot beat the hardware).  Rows carry the
+machine's ``cpus`` so readers can interpret them, and on a single-CPU
+box the multi-worker rows are skipped entirely rather than recorded
+as misleading sub-1x "speedups".
 
 Run with::
 
@@ -106,7 +109,21 @@ def measure(
     multiprocess path genuinely executes (the default plan would fold
     ``runs <= 256`` into one shard, silently serialising every worker
     count).
+
+    Every row is annotated with the machine's visible CPU count, and
+    on a single-CPU box the ``workers > 1`` rows are skipped outright:
+    process fan-out on one core measures scheduler thrash, and the
+    resulting sub-1x "speedups" would poison the recorded trajectory.
     """
+    cpus = machine_context()["cpus"]
+    if cpus < 2:
+        skipped = [w for w in worker_grid if w > 1]
+        worker_grid = tuple(w for w in worker_grid if w <= 1)
+        if skipped:
+            print(
+                f"note: {cpus} CPU visible — skipping workers={skipped} "
+                "rows (fan-out cannot beat the hardware)"
+            )
     graph, engine, state = build_cell(n, runs)
     base_seconds, base_times = time_run_batch(graph, runs)
     rows = [
@@ -115,6 +132,7 @@ def measure(
             "n": n,
             "runs": runs,
             "workers": 0,
+            "cpus": cpus,
             "seconds": round(base_seconds, 4),
             "speedup_vs_batch": 1.0,
             "mean_cover": float(base_times.mean()),
@@ -144,6 +162,7 @@ def measure(
                 "n": n,
                 "runs": runs,
                 "workers": workers,
+                "cpus": cpus,
                 "seconds": round(seconds, 4),
                 "speedup_vs_batch": round(base_seconds / seconds, 3),
                 "mean_cover": float(times.mean()),

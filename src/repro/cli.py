@@ -18,7 +18,11 @@ DESIGN.md.  ``cover`` / ``trajectory`` / ``dynamics`` accept
 fleet (results bit-identical to local execution; shard results are
 content-address cached under ``REPRO_CACHE_DIR``).  Every execution
 command accepts ``--telemetry PATH`` (or ``REPRO_TELEMETRY``) to
-stream a structured JSONL trace without perturbing any result.
+stream a structured JSONL trace without perturbing any result, and
+``--kernel-backend`` (or ``REPRO_KERNEL_BACKEND``) to force the
+per-round kernel backend — ``numpy``/``numba``/``auto`` are
+bit-identical choices; ``bitplane`` is distribution-equivalent only
+(see :mod:`repro.kernels`).
 """
 
 from __future__ import annotations
@@ -44,7 +48,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     # Shared by every execution command: where to stream the JSONL
-    # telemetry trace (overrides REPRO_TELEMETRY; see repro.telemetry).
+    # telemetry trace (overrides REPRO_TELEMETRY; see repro.telemetry)
+    # and which per-round kernel backend to force (overrides
+    # REPRO_KERNEL_BACKEND; see repro.kernels).
     tel = argparse.ArgumentParser(add_help=False)
     tel.add_argument(
         "--telemetry",
@@ -53,6 +59,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="append a structured JSONL telemetry trace to PATH "
         "(overrides REPRO_TELEMETRY; inspect with 'repro trace summarize'; "
         "results are bit-identical with tracing on or off)",
+    )
+    tel.add_argument(
+        "--kernel-backend",
+        default=None,
+        choices=("auto", "numpy", "numba", "bitplane"),
+        help="per-round kernel backend (overrides REPRO_KERNEL_BACKEND; "
+        "default auto = compiled where available and bit-identical, else "
+        "numpy; bitplane is distribution-equivalent only)",
     )
 
     sub.add_parser("list", help="list registered experiments")
@@ -911,6 +925,14 @@ def main(argv: list[str] | None = None) -> int:
     # command; flushed on every exit path so partial runs still leave
     # a readable JSONL trace.
     configure_from_env(getattr(args, "telemetry", None))
+    # --kernel-backend exports through the environment so every engine
+    # entry point the command reaches — and every pool worker forked
+    # beneath it — resolves the same kernel choice.
+    kernel_backend = getattr(args, "kernel_backend", None)
+    if kernel_backend is not None:
+        from .kernels import ENV_VAR
+
+        os.environ[ENV_VAR] = kernel_backend
     try:
         return _dispatch(args)
     finally:

@@ -484,8 +484,16 @@ def encode_task(task: ShardTask) -> dict:
     rebuilds a task whose execution by
     :func:`repro.parallel.run_shard` is bit-for-bit identical to
     running the original in-process.
+
+    The kernel-backend hint is an *optional* key, emitted only when the
+    task carries one: default tasks encode byte-for-byte as they did
+    before the key existed, so :data:`WIRE_VERSION` stays put and no
+    cached result is invalidated.  A non-default backend does change
+    the :func:`task_key` — deliberately, since a ``bitplane`` result is
+    only distribution-equivalent and must not be served from a
+    ``numpy`` cache entry.
     """
-    return {
+    obj = {
         "v": WIRE_VERSION,
         "kind": "task",
         "rule": _encode_rule(task.rule),
@@ -498,6 +506,9 @@ def encode_task(task: ShardTask) -> dict:
         "record_sizes": bool(task.record_sizes),
         "record_visited": bool(task.record_visited),
     }
+    if task.backend is not None:
+        obj["backend"] = str(task.backend)
+    return obj
 
 
 def _check_version(obj: dict, kind: str) -> None:
@@ -523,6 +534,7 @@ def decode_task(obj: dict) -> ShardTask:
         track_hits=obj["track_hits"],
         record_sizes=obj["record_sizes"],
         record_visited=obj["record_visited"],
+        backend=obj.get("backend"),
     )
 
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import contextlib
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 import numpy as np
@@ -176,6 +176,7 @@ class SpreadEngine:
         record_sizes: bool = False,
         record_visited: bool = False,
         on_round: Callable[[int, Graph, np.ndarray], None] | None = None,
+        backend: str | None = None,
     ) -> SpreadResult:
         """Advance all runs until completion or the round cap.
 
@@ -193,6 +194,18 @@ class SpreadEngine:
         round's ``graph_at(t)`` call, so the snapshot may react to the
         state about to act on it.
 
+        ``backend`` selects the per-round kernel via
+        :mod:`repro.kernels.dispatch`: ``"numpy"`` (reference, the
+        default resolution), ``"numba"`` / ``"auto"`` (fused compiled
+        kernels where available — bit-identical to numpy), or
+        ``"bitplane"`` (word-packed gossip — distribution-equivalent
+        only).  ``None`` defers to the ``REPRO_KERNEL_BACKEND``
+        environment variable, then ``"auto"``.  When a backend was
+        explicitly requested, or resolution picked a non-numpy kernel,
+        the choice is recorded as ``meta["kernel_backend"]``; the
+        untouched default leaves ``meta`` None, preserving the
+        meta-is-observability-only contract.
+
         With telemetry enabled (see :mod:`repro.telemetry`) the run is
         wrapped in an ``engine.run`` span, and every sampled round
         emits an ``engine.round`` progress event plus
@@ -201,7 +214,9 @@ class SpreadEngine:
         and clocks — it draws no randomness — so traced and untraced
         runs are bit-identical.
         """
-        rule, topo = self.rule, self.topology
+        from ..kernels import dispatch
+
+        topo = self.topology
         observer = (
             topo.observe if getattr(topo, "observes_process", False) else None
         )
@@ -209,20 +224,29 @@ class SpreadEngine:
         # Rules with non-row-per-run state (bit-packed flooding) publish
         # their run count through runs_of; the default is one state row
         # per run.
-        runs_of = getattr(rule, "runs_of", None)
+        runs_of = getattr(self.rule, "runs_of", None)
         runs = runs_of(state) if runs_of is not None else state.shape[0]
         cap = self.default_cap() if max_rounds is None else int(max_rounds)
+
+        requested = dispatch.requested_backend(backend)
+        binding = dispatch.resolve(
+            self.rule, n=n, runs=runs, requested=requested
+        )
+        rule = binding.rule
+        if binding.pack is not None:
+            state = binding.pack(state)
 
         tel = get_telemetry()
         trace = tel.enabled
         span = (
             tel.span(
                 "engine.run",
-                rule=type(rule).__name__,
+                rule=type(self.rule).__name__,
                 topology=getattr(topo, "name", type(topo).__name__),
                 runs=int(runs),
                 n=int(n),
                 cap=int(cap),
+                backend=binding.backend,
             )
             if trace
             else None
@@ -230,6 +254,7 @@ class SpreadEngine:
         with span if span is not None else contextlib.nullcontext():
             result = self._run_loop(
                 rule,
+                binding.step,
                 topo,
                 observer,
                 state,
@@ -249,11 +274,19 @@ class SpreadEngine:
                     rounds_run=int(result.rounds_run),
                     finished=int((result.finish_times >= 0).sum()),
                 )
+        if binding.unpack is not None:
+            result = replace(result, final_state=binding.unpack(result.final_state))
+        if requested is not None or binding.backend != "numpy":
+            result = replace(
+                result,
+                meta={**(result.meta or {}), "kernel_backend": binding.backend},
+            )
         return result
 
     def _run_loop(
         self,
         rule,
+        step,
         topo,
         observer,
         state: np.ndarray,
@@ -351,7 +384,7 @@ class SpreadEngine:
             graph = topo.graph_at(t)
             if on_round is not None:
                 on_round(t, graph, state)
-            state = rule.step(graph, state, alive, rng)
+            state = step(graph, state, alive, rng)
             if emit:
                 tel.observe(
                     "engine.round.seconds", time.perf_counter() - round_wall0
@@ -416,6 +449,7 @@ class SpreadEngine:
         schedule: str = "static",
         endpoint: str | None = None,
         cache="auto",
+        backend: str | None = None,
     ) -> SpreadResult:
         """Advance the runs sharded across worker processes.
 
@@ -437,6 +471,11 @@ class SpreadEngine:
         are merged across shards on a common round axis with
         terminal-value padding — the engine-level one-pass recorder the
         analysis ensembles are built on.
+
+        ``backend`` is the kernel-backend request, resolved here (so
+        the environment variable crosses process and wire boundaries)
+        and stamped on every shard task; each shard's engine honours it
+        exactly as :meth:`run` does.
 
         ``schedule="completion"`` switches the local pool to
         completion-order dispatch (idle workers steal the next shard
@@ -467,6 +506,7 @@ class SpreadEngine:
             schedule=schedule,
             endpoint=endpoint,
             cache=cache,
+            backend=backend,
             **kwargs,
         )
 
@@ -484,6 +524,7 @@ class SpreadEngine:
         budget_bytes: int | None = None,
         max_shard: int | None = None,
         cache="auto",
+        backend: str | None = None,
     ) -> SpreadResult:
         """Advance the runs sharded across a broker's worker fleet.
 
@@ -510,4 +551,5 @@ class SpreadEngine:
             max_shard=max_shard,
             endpoint=endpoint,
             cache=cache,
+            backend=backend,
         )

@@ -33,6 +33,29 @@ Rules are deliberately policy-agnostic about branching: they duck-type
 ``draw_counts`` / ``fixed_selection_count`` /
 ``second_selection_probability`` methods, keeping this package free of
 imports from :mod:`repro.core`.
+
+Compiled backends
+-----------------
+The kernels in this module are the reference (``numpy``) backend of
+the dispatch tier in :mod:`repro.kernels`.  Per rule, the cross-backend
+equivalence contract is:
+
+* **bit-identical** under the ``numba`` backend: :class:`CobraRule`,
+  and :class:`BipsRule` with ``discipline="batch"``.  The compiled
+  kernels pre-draw the same uniforms from the same Generator in the
+  same order and reproduce the numpy index arithmetic exactly, so
+  ``backend="numba"`` (or ``"auto"``) changes wall-clock only — never
+  a sample.
+* **distribution-equivalent** under the ``bitplane`` backend:
+  :class:`PushRule`, :class:`PullRule`, :class:`PushPullRule`.  The
+  word-packed twins share neighbour draws across the runs of a machine
+  word, so per-run cover/broadcast laws are exact but the draw stream
+  (and cross-run independence within a word) differs — compare
+  distributions, never bits, across that boundary.
+* **numpy-only**: :class:`FloodingRule` (already bit-parallel),
+  :class:`WalkRule`, and ``BipsRule(discipline="single")`` have no
+  compiled twin; every backend request other than ``numpy``/``auto``
+  is rejected for them.
 """
 
 from __future__ import annotations

@@ -351,8 +351,19 @@ class Graph:
         if degs.size and int(degs.min()) == 0:
             raise ValueError("cannot sample a neighbour of an isolated vertex")
         # floor(u * d) is uniform on {0, .., d-1} for u ~ U[0, 1).
-        offsets = (rng.random(vertices.shape[0]) * degs).astype(np.int64)
-        return self.indices[self.indptr[vertices] + offsets]
+        # Draws land in reusable scratch: ``Generator.random(out=...)``
+        # fills from the same stream as ``random(k)``, and the int64
+        # cast-assign truncates exactly like ``astype`` — bit-identical
+        # to the allocating form (pinned in tests/graphs), minus two
+        # heap allocations per round.
+        k = vertices.shape[0]
+        u = _SCRATCH.floats(k)
+        rng.random(out=u)
+        np.multiply(u, degs, out=u)
+        offsets = _SCRATCH.ints(k)
+        offsets[:] = u
+        np.add(self.indptr[vertices], offsets, out=offsets)
+        return self.indices[offsets]
 
     # ------------------------------------------------------------------
     # Interop
@@ -538,16 +549,69 @@ class Graph:
         return hash((self.n, self.m, self.indices.tobytes()))
 
 
+class _Scratch:
+    """Grow-only reusable buffers for the per-call sampling hot path.
+
+    :meth:`Graph.sample_neighbors` runs every round of every gossip
+    process; its two intermediate arrays (the uniform draws and the
+    integer offsets) used to be fresh heap allocations per call.  One
+    module-level instance hands out views of persistent buffers that
+    only ever grow.  The views are valid until the *next* request of
+    the same dtype — callers must finish with them within the call —
+    and the whole scheme assumes the engine's single-threaded-process
+    execution model (process pools get a fresh copy per worker; threads
+    sharing one interpreter would race).
+    """
+
+    def __init__(self) -> None:
+        self._f64 = np.empty(0, dtype=np.float64)
+        self._i64 = np.empty(0, dtype=np.int64)
+
+    def floats(self, k: int) -> np.ndarray:
+        """A length-``k`` float64 view (contents undefined)."""
+        if self._f64.shape[0] < k:
+            self._f64 = np.empty(max(k, 2 * self._f64.shape[0]), dtype=np.float64)
+        return self._f64[:k]
+
+    def ints(self, k: int) -> np.ndarray:
+        """A length-``k`` int64 view (contents undefined)."""
+        if self._i64.shape[0] < k:
+            self._i64 = np.empty(max(k, 2 * self._i64.shape[0]), dtype=np.int64)
+        return self._i64[:k]
+
+
+_SCRATCH = _Scratch()
+
+# Grow-only 0..N template backing _ragged_arange (read-only: consumers
+# get it as the subtrahend of an out= subtraction, never to mutate).
+_ARANGE_TEMPLATE = np.empty(0, dtype=np.int64)
+
+
+def _arange_template(total: int) -> np.ndarray:
+    """The first ``total`` entries of a cached, read-only ``arange``."""
+    global _ARANGE_TEMPLATE
+    if _ARANGE_TEMPLATE.shape[0] < total:
+        grown = np.arange(
+            max(total, 2 * _ARANGE_TEMPLATE.shape[0]), dtype=np.int64
+        )
+        grown.setflags(write=False)
+        _ARANGE_TEMPLATE = grown
+    return _ARANGE_TEMPLATE[:total]
+
+
 def _ragged_arange(counts: np.ndarray) -> np.ndarray:
     """Concatenated ``arange(c)`` for each c in counts, vectorised.
 
-    E.g. counts=[2,0,3] -> [0,1,0,1,2].
+    E.g. counts=[2,0,3] -> [0,1,0,1,2].  The returned array is freshly
+    allocated (callers may mutate it); the linear ramp it is built from
+    comes from the grow-only module cache, saving one allocation plus
+    an O(total) fill per call on the flooding/BFS hot paths.
     """
     total = int(counts.sum())
     if total == 0:
         return np.empty(0, dtype=np.int64)
     ends = np.cumsum(counts)
     starts = ends - counts
-    out = np.arange(total, dtype=np.int64)
-    out -= np.repeat(starts, counts)
+    out = np.repeat(starts, counts)
+    np.subtract(_arange_template(total), out, out=out)
     return out

@@ -145,6 +145,12 @@ class ShardTask:
     seed:
         The shard's spawned :class:`numpy.random.SeedSequence`; the
         worker builds its process stream from exactly this.
+    backend:
+        Kernel-backend request forwarded to the worker's
+        ``engine.run`` (see :mod:`repro.kernels.dispatch`).  Resolved
+        caller-side from parameter/environment so the choice crosses
+        process and wire boundaries; None means auto-resolve in the
+        worker.
     """
 
     rule: object
@@ -156,6 +162,7 @@ class ShardTask:
     track_hits: bool = False
     record_sizes: bool = False
     record_visited: bool = False
+    backend: str | None = None
 
 
 def run_shard(task: ShardTask):
@@ -205,12 +212,14 @@ def run_shard(task: ShardTask):
             track_hits=task.track_hits,
             record_sizes=task.record_sizes,
             record_visited=task.record_visited,
+            backend=task.backend,
         )
         if span is not None:
             span.annotate(rounds_run=int(result.rounds_run))
     return replace(
         result,
         meta={
+            **(result.meta or {}),
             "shard": {
                 "runs": int(task.state.shape[0]),
                 "rounds_run": int(result.rounds_run),
@@ -316,16 +325,23 @@ def _merge_meta(results: Sequence) -> dict | None:
     load-balance figure the ROADMAP's bench caveat asks for.
     """
     shards = []
+    kernel_backend = None
     for index, result in enumerate(results):
         meta = getattr(result, "meta", None)
-        if not meta or "shard" not in meta:
+        if not meta:
+            continue
+        kernel_backend = meta.get("kernel_backend", kernel_backend)
+        if "shard" not in meta:
             continue
         shards.append({"index": index, **meta["shard"]})
     if not shards:
+        if kernel_backend is not None:
+            return {"kernel_backend": kernel_backend}
         return None
     walls = [s["wall_s"] for s in shards]
     wall_stats = summarize_values(walls)
     return {
+        **({"kernel_backend": kernel_backend} if kernel_backend else {}),
         "shards": shards,
         "wall_s": wall_stats,
         "cpu_s": summarize_values([s["cpu_s"] for s in shards]),
@@ -428,6 +444,7 @@ def run_sharded(
     schedule: str = "static",
     endpoint: str | None = None,
     cache="auto",
+    backend: str | None = None,
 ):
     """Shard one engine invocation's R axis across worker processes.
 
@@ -450,10 +467,19 @@ def run_sharded(
     ``cache``, and the merged output stays bit-for-bit identical to
     every local execution mode.
 
+    ``backend`` is the kernel-backend request (see
+    :mod:`repro.kernels.dispatch`); it is resolved here against the
+    parameter-then-environment precedence — so a caller-side
+    ``REPRO_KERNEL_BACKEND`` reaches workers that may not inherit the
+    environment — and stamped on every shard task.
+
     Bit-packed rules (flooding) fold all runs into shared byte planes,
     so their state cannot be row-sharded; they are rejected.
     """
     from ..engine.engine import StaticTopology, as_topology
+    from ..kernels.dispatch import requested_backend
+
+    backend = requested_backend(backend)
 
     if getattr(rule, "runs_of", None) is not None:
         raise ValueError(
@@ -519,6 +545,7 @@ def run_sharded(
                     track_hits=track_hits,
                     record_sizes=record_sizes,
                     record_visited=record_visited,
+                    backend=backend,
                 )
                 for lo, hi, s in zip(bounds[:-1], bounds[1:], seeds)
             ]

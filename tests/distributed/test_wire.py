@@ -307,6 +307,42 @@ class TestTasks:
         assert back.sizes is None
         assert back.visited_counts is None
 
+    def test_backend_hint_round_trips(self):
+        base = _task()
+        hinted = ShardTask(
+            rule=base.rule,
+            topology=base.topology,
+            completion=base.completion,
+            state=base.state,
+            seed=base.seed,
+            backend="numpy",
+        )
+        encoded = encode_task(hinted)
+        assert encoded["backend"] == "numpy"
+        assert decode_task(encoded).backend == "numpy"
+
+    def test_default_encoding_has_no_backend_key(self):
+        """Tasks without a hint encode exactly as before the key
+        existed: same bytes, same cache address, no version bump."""
+        encoded = encode_task(_task())
+        assert "backend" not in encoded
+        assert decode_task(encoded).backend is None
+        assert encoded["v"] == WIRE_VERSION
+
+    def test_backend_hint_changes_task_key(self):
+        """A bitplane result is only distribution-equivalent: it must
+        never be served from a numpy task's cache slot."""
+        base = _task()
+        hinted = ShardTask(
+            rule=base.rule,
+            topology=base.topology,
+            completion=base.completion,
+            state=base.state,
+            seed=base.seed,
+            backend="bitplane",
+        )
+        assert task_key(hinted) != task_key(base)
+
 
 class TestEndpoints:
     @pytest.mark.parametrize(

@@ -1,0 +1,101 @@
+"""Scratch-buffer hot path: bit-identity of the reusable-buffer rewrite.
+
+``Graph.sample_neighbors`` and ``_ragged_arange`` now run on grow-only
+module-level scratch instead of per-call allocations.  These tests pin
+the two numpy facts the rewrite rests on — ``Generator.random(out=buf)``
+consumes the stream exactly like ``random(k)``, and int64 cast-assign
+truncates exactly like ``astype`` — by comparing against inline
+re-implementations of the old allocating code, across interleaved call
+sizes so buffer reuse (shrinking views over a dirty buffer) is
+genuinely exercised.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import random_regular_graph, star_graph
+from repro.graphs.graph import _ragged_arange
+
+
+def legacy_sample(graph, vertices, rng):
+    """The pre-scratch implementation, verbatim."""
+    vertices = np.asarray(vertices, dtype=np.int64)
+    degs = graph.degrees[vertices]
+    offsets = (rng.random(vertices.shape[0]) * degs).astype(np.int64)
+    return graph.indices[graph.indptr[vertices] + offsets]
+
+
+def legacy_ragged(counts):
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    starts = ends - counts
+    out = np.arange(total, dtype=np.int64)
+    out -= np.repeat(starts, counts)
+    return out
+
+
+def test_sample_neighbors_bit_identical_across_interleaved_sizes():
+    graph = random_regular_graph(256, 6, rng=np.random.default_rng(0))
+    ref_rng, new_rng = np.random.default_rng(77), np.random.default_rng(77)
+    sizes = [300, 1, 0, 512, 17, 512, 3, 100]  # grow, shrink, regrow
+    for i, k in enumerate(sizes):
+        verts = np.random.default_rng(i).integers(0, graph.n, size=k)
+        expected = legacy_sample(graph, verts, ref_rng)
+        got = graph.sample_neighbors(verts, new_rng)
+        assert np.array_equal(expected, got), f"call {i} (k={k})"
+    # the streams advanced in lockstep: same draws were consumed
+    assert ref_rng.bit_generator.state == new_rng.bit_generator.state
+
+
+def test_sample_neighbors_ragged_degrees():
+    graph = star_graph(40)  # hub degree 39, leaves degree 1
+    ref_rng, new_rng = np.random.default_rng(5), np.random.default_rng(5)
+    verts = np.array([0, 1, 0, 39, 0], dtype=np.int64)
+    for _ in range(20):
+        assert np.array_equal(
+            legacy_sample(graph, verts, ref_rng),
+            graph.sample_neighbors(verts, new_rng),
+        )
+
+
+def test_sample_neighbors_results_survive_next_call():
+    """Returned arrays are owned copies, not views of the scratch."""
+    graph = random_regular_graph(64, 4, rng=np.random.default_rng(1))
+    rng = np.random.default_rng(2)
+    verts = np.arange(30, dtype=np.int64)
+    first = graph.sample_neighbors(verts, rng)
+    snapshot = first.copy()
+    graph.sample_neighbors(verts, rng)  # would clobber a view
+    assert np.array_equal(first, snapshot)
+
+
+def test_sample_neighbors_isolated_vertex_still_raises():
+    """The guard fires before any draw: the stream must not advance."""
+    from repro.graphs.graph import Graph
+
+    g = Graph(3, [(0, 1)])  # vertex 2 isolated
+    rng = np.random.default_rng(0)
+    state_before = rng.bit_generator.state
+    with pytest.raises(ValueError, match="isolated"):
+        g.sample_neighbors(np.array([2]), rng)
+    assert rng.bit_generator.state == state_before
+
+
+def test_ragged_arange_bit_identical():
+    for trial in range(25):
+        counts = np.random.default_rng(trial).integers(0, 9, size=120)
+        assert np.array_equal(legacy_ragged(counts), _ragged_arange(counts))
+
+
+def test_ragged_arange_zero_total():
+    assert _ragged_arange(np.zeros(7, dtype=np.int64)).size == 0
+
+
+def test_ragged_arange_output_is_mutable_copy():
+    counts = np.array([4, 2, 5], dtype=np.int64)
+    out = _ragged_arange(counts)
+    out += 1  # must not poison the cached template
+    again = _ragged_arange(counts)
+    assert np.array_equal(again, legacy_ragged(counts))

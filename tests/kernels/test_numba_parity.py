@@ -1,0 +1,95 @@
+"""Numba backend bit-identity: the fused kernels ARE the numpy kernels.
+
+The whole module skips on the numpy-only container; CI runs it on the
+numba leg.  Each case drives the same engine cell twice from the same
+seed — reference backend vs ``backend="numba"`` — and requires every
+scientific field to match bit-for-bit, because the fused kernels
+consume the identical Generator draw stream (see
+``repro/kernels/numba_backend.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.branching import BernoulliBranching, FixedBranching
+from repro.engine import BipsRule, CobraRule, SpreadEngine
+from repro.graphs import random_regular_graph, star_graph
+from repro.kernels import backend_available
+
+pytestmark = pytest.mark.skipif(
+    not backend_available("numba"), reason="needs numba installed"
+)
+
+
+def one_hot(runs: int, n: int) -> np.ndarray:
+    mask = np.zeros((runs, n), dtype=bool)
+    mask[:, 0] = True
+    return mask
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_regular_graph(96, 4, rng=np.random.default_rng(1))
+
+
+def assert_bit_identical(engine, state, seed):
+    ref = engine.run(
+        state, np.random.default_rng(seed), track_hits=True, backend="numpy"
+    )
+    got = engine.run(
+        state, np.random.default_rng(seed), track_hits=True, backend="numba"
+    )
+    assert got.meta["kernel_backend"] == "numba"
+    assert np.array_equal(ref.finish_times, got.finish_times)
+    assert np.array_equal(ref.final_state, got.final_state)
+    assert np.array_equal(ref.hit_times, got.hit_times)
+    assert ref.rounds_run == got.rounds_run
+
+
+@pytest.mark.parametrize("lazy", [False, True])
+@pytest.mark.parametrize(
+    "policy", [FixedBranching(2), FixedBranching(3), BernoulliBranching(0.7)]
+)
+def test_cobra_bit_identity(graph, policy, lazy):
+    engine = SpreadEngine(CobraRule(policy, lazy=lazy), graph)
+    assert_bit_identical(engine, one_hot(12, graph.n), seed=11)
+
+
+@pytest.mark.parametrize("lazy", [False, True])
+@pytest.mark.parametrize(
+    "policy", [FixedBranching(2), BernoulliBranching(0.6)]
+)
+def test_bips_batch_bit_identity(graph, policy, lazy):
+    engine = SpreadEngine(
+        BipsRule(policy, 0, lazy=lazy), graph, completion="all-active"
+    )
+    assert_bit_identical(engine, one_hot(12, graph.n), seed=13)
+
+
+def test_cobra_star_graph(graph):
+    """Hub-and-spoke degrees exercise the CSR walk's ragged extremes."""
+    g = star_graph(33)
+    engine = SpreadEngine(CobraRule(FixedBranching(2)), g)
+    assert_bit_identical(engine, one_hot(8, g.n), seed=17)
+
+
+def test_auto_resolves_numba_and_stays_bit_identical():
+    """auto on a large graph picks numba; samples must not move."""
+    g = random_regular_graph(5000, 4, rng=np.random.default_rng(2))
+    engine = SpreadEngine(CobraRule(FixedBranching(2)), g)
+    state = one_hot(4, g.n)
+    ref = engine.run(state, np.random.default_rng(23), backend="numpy")
+    auto = engine.run(state, np.random.default_rng(23), backend="auto")
+    assert auto.meta["kernel_backend"] == "numba"
+    assert np.array_equal(ref.finish_times, auto.finish_times)
+    assert np.array_equal(ref.final_state, auto.final_state)
+
+
+def test_sharded_numba_matches_serial_numpy(graph):
+    """The backend hint changes wall-clock, never a sharded sample."""
+    engine = SpreadEngine(CobraRule(FixedBranching(2)), graph)
+    state = one_hot(24, graph.n)
+    ref = engine.run_sharded(state, 41, workers=1, max_shard=8, backend="numpy")
+    got = engine.run_sharded(state, 41, workers=1, max_shard=8, backend="numba")
+    assert np.array_equal(ref.finish_times, got.finish_times)
+    assert np.array_equal(ref.final_state, got.final_state)

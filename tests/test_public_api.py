@@ -31,6 +31,7 @@ class TestTopLevelApi:
         import repro.engine
         import repro.experiments
         import repro.graphs
+        import repro.kernels
         import repro.parallel
         import repro.stats
         import repro.telemetry
@@ -45,6 +46,7 @@ class TestTopLevelApi:
             repro.engine,
             repro.experiments,
             repro.graphs,
+            repro.kernels,
             repro.parallel,
             repro.stats,
             repro.telemetry,
