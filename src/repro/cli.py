@@ -11,6 +11,7 @@ Subcommands::
     repro worker 127.0.0.1:7603               # worker attached to a broker
     repro status 127.0.0.1:7603 [--watch 2]   # broker queue counters + metrics
     repro trace summarize trace.jsonl         # span tree + hot-round histograms
+    repro chaos [--smoke] [--seed N]          # seeded fault-injection matrix
 
 Experiment output is the table(s) plus the pass/fail shape checks from
 DESIGN.md.  ``cover`` / ``trajectory`` / ``dynamics`` accept
@@ -69,6 +70,52 @@ def build_parser() -> argparse.ArgumentParser:
         "numpy; bitplane is distribution-equivalent only)",
     )
 
+    # Shared by the commands that reach a broker (--endpoint): the
+    # retry/backoff policy, the checkpoint manifest and the degradation
+    # mode, installed process-wide via repro.resilience.configure() so
+    # every execute_shards_remote call beneath the command sees them.
+    res = argparse.ArgumentParser(add_help=False)
+    res.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="connection/submission attempts against the broker before "
+        "giving up (default 4; 1 disables retries)",
+    )
+    res.add_argument(
+        "--retry-base",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="base backoff delay between retries, doubled each attempt "
+        "with deterministic seeded jitter (default 0.1)",
+    )
+    res.add_argument(
+        "--retry-max",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="cap on the per-retry backoff delay (default 2.0)",
+    )
+    res.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="write a resumable job manifest to PATH as shards complete; "
+        "rerunning with the same PATH (and a result cache) serves the "
+        "finished shards from cache instead of recomputing them",
+    )
+    res.add_argument(
+        "--fallback",
+        default=None,
+        choices=("local", "none"),
+        help="what to do when the broker is unreachable: 'local' completes "
+        "the job with in-process sharded execution (bit-identical "
+        "results), 'none' propagates the error (default; also "
+        "REPRO_FALLBACK)",
+    )
+
     sub.add_parser("list", help="list registered experiments")
 
     run_p = sub.add_parser(
@@ -96,7 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
     cover_p = sub.add_parser(
         "cover",
         help="measure COBRA cover time on a named graph or edge list",
-        parents=[tel],
+        parents=[tel, res],
     )
     cover_p.add_argument(
         "spec", help="graph spec (as graph-info) or a path to an edge-list file"
@@ -127,7 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
     traj_p = sub.add_parser(
         "trajectory",
         help="render a BIPS infection / COBRA coverage trajectory chart",
-        parents=[tel],
+        parents=[tel, res],
     )
     traj_p.add_argument("spec", help="graph spec (as graph-info)")
     traj_p.add_argument(
@@ -155,7 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
     dyn_p = sub.add_parser(
         "dynamics",
         help="measure COBRA cover / BIPS infection on a time-evolving graph",
-        parents=[tel],
+        parents=[tel, res],
     )
     dyn_p.add_argument(
         "--family",
@@ -221,7 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
         "adversary",
         help="measure worst-case cover/infection against an adaptive "
         "adversary rewiring against the observed frontier",
-        parents=[tel],
+        parents=[tel, res],
     )
     adv_p.add_argument(
         "--family",
@@ -360,6 +407,36 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.5,
         help="seconds between lease attempts while the queue is empty",
+    )
+    worker_p.add_argument(
+        "--faults",
+        default=None,
+        metavar="JSON",
+        help="install a deterministic FaultPlan on this worker, given as "
+        "the JSON spec produced by FaultPlan.to_json() (chaos testing "
+        "only; also REPRO_FAULT_PLAN)",
+    )
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="run the seeded fault-injection matrix: every fault class x "
+        "serial/sharded/distributed, asserting bit-identity with the "
+        "fault-free reference",
+        parents=[tel],
+    )
+    chaos_p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="chaos seed driving the workload, the fault plans and the "
+        "retry jitter; a failing cell replays exactly from its seed",
+    )
+    chaos_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the fast CI leg instead of the full matrix: two fault "
+        "classes plus the dead-broker-fallback and killed-client "
+        "checkpoint-resume drills",
     )
     return parser
 
@@ -902,10 +979,23 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     from .distributed import DistributedError
     from .distributed.worker import run_worker
 
+    faults = None
+    if args.faults is not None:
+        from .resilience import FaultPlan
+
+        try:
+            faults = FaultPlan.from_json(args.faults)
+        except (ValueError, TypeError, KeyError) as exc:
+            print(f"malformed --faults plan: {exc}", file=sys.stderr)
+            return 2
+        print(f"repro worker running with fault plan seed={faults.seed}")
     print(f"repro worker attaching to {args.endpoint}")
     try:
         completed = run_worker(
-            args.endpoint, max_tasks=args.max_tasks, poll_interval=args.poll
+            args.endpoint,
+            max_tasks=args.max_tasks,
+            poll_interval=args.poll,
+            faults=faults,
         )
     except KeyboardInterrupt:
         return 0
@@ -914,6 +1004,55 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         return 1
     print(f"worker exiting after {completed} shard(s)")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .resilience import chaos
+
+    runner = chaos.run_chaos_smoke if args.smoke else chaos.run_chaos_matrix
+    report = runner(seed=args.seed, emit=print)
+    print(chaos.format_report(report))
+    return 0 if report["ok"] else 1
+
+
+def _configure_resilience(args: argparse.Namespace) -> None:
+    """Install --retry-*/--checkpoint/--fallback as process defaults.
+
+    Only touches the defaults a flag was actually given for, so
+    ``endpoint=`` entry points below the command pick them up through
+    their ``"default"`` sentinels without any signature threading.
+    """
+    retry_attempts = getattr(args, "retry_attempts", None)
+    retry_base = getattr(args, "retry_base", None)
+    retry_max = getattr(args, "retry_max", None)
+    checkpoint = getattr(args, "checkpoint", None)
+    fallback = getattr(args, "fallback", None)
+    if not any(
+        v is not None
+        for v in (retry_attempts, retry_base, retry_max, checkpoint, fallback)
+    ):
+        return
+    from . import resilience
+
+    kwargs: dict = {}
+    if any(v is not None for v in (retry_attempts, retry_base, retry_max)):
+        default = resilience.RetryPolicy()
+        base = retry_base if retry_base is not None else default.base_delay_s
+        cap = retry_max if retry_max is not None else default.max_delay_s
+        kwargs["retry"] = resilience.RetryPolicy(
+            attempts=(
+                retry_attempts
+                if retry_attempts is not None
+                else default.attempts
+            ),
+            base_delay_s=base,
+            max_delay_s=max(cap, base),
+        )
+    if checkpoint is not None:
+        kwargs["checkpoint"] = checkpoint
+    if fallback is not None:
+        kwargs["fallback"] = fallback
+    resilience.configure(**kwargs)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -933,6 +1072,10 @@ def main(argv: list[str] | None = None) -> int:
         from .kernels import ENV_VAR
 
         os.environ[ENV_VAR] = kernel_backend
+    # --retry-*/--checkpoint/--fallback install process-wide resilience
+    # defaults (see repro.resilience.configure) for the broker-reaching
+    # commands.
+    _configure_resilience(args)
     try:
         return _dispatch(args)
     finally:
@@ -964,6 +1107,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_broker(args)
     if args.command == "worker":
         return _cmd_worker(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     raise SystemExit(2)  # pragma: no cover - argparse enforces commands
 
 

@@ -35,19 +35,23 @@ from .cache import (
     resolve_cache,
 )
 from .client import (
+    BrokerUnavailable,
     DistributedError,
     broker_status,
     execute_shards_remote,
+    execute_shards_resilient,
     run_distributed,
 )
 from .wire import (
     WIRE_VERSION,
+    WireDecodeError,
     canonical_bytes,
     decode_result,
     decode_task,
     encode_result,
     encode_task,
     parse_endpoint,
+    result_envelope_error,
     task_key,
 )
 from .worker import run_worker
@@ -60,17 +64,21 @@ __all__ = [
     "CACHE_MAX_BYTES_ENV_VAR",
     "ResultCache",
     "resolve_cache",
+    "BrokerUnavailable",
     "DistributedError",
     "broker_status",
     "execute_shards_remote",
+    "execute_shards_resilient",
     "run_distributed",
     "run_worker",
     "WIRE_VERSION",
+    "WireDecodeError",
     "canonical_bytes",
     "decode_result",
     "decode_task",
     "encode_result",
     "encode_task",
     "parse_endpoint",
+    "result_envelope_error",
     "task_key",
 ]

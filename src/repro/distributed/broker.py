@@ -17,10 +17,15 @@ Two layers:
 * :class:`Broker` — a small asyncio TCP server speaking the framed
   JSON protocol of :mod:`repro.distributed.wire`.  Clients ``submit``
   a job (a list of encoded shard tasks keyed by shard index) and
-  ``wait`` for it; workers ``lease`` / ``heartbeat`` / ``complete`` /
+  either ``wait`` for it (one blocking reply) or poll ``collect`` for
+  incremental results (the checkpointing path), finishing with
+  ``drop``; workers ``lease`` / ``heartbeat`` / ``complete`` /
   ``error``.  Shard payloads pass through the broker opaquely — it
   never decodes a task, so its memory and CPU footprint is queue-sized,
-  not simulation-sized.
+  not simulation-sized.  Result frames *are* shallowly validated
+  (:func:`~repro.distributed.wire.result_envelope_error`): a
+  structurally broken result is rejected and its shard requeued
+  without poison-counting, instead of poisoning the client's decode.
 
 Determinism: the broker controls only *where and when* shards run,
 never *what they compute* — every task carries its own spawned seed —
@@ -39,7 +44,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..telemetry import get_telemetry, summarize_values
-from .wire import read_frame, write_frame
+from .wire import read_frame, result_envelope_error, write_frame
 
 __all__ = ["ShardLedger", "ShardRecord", "QueueMetrics", "Broker"]
 
@@ -60,6 +65,7 @@ class ShardRecord:
     payload: dict = field(repr=False)
     state: str = PENDING
     attempts: int = 0
+    rejects: int = 0
     worker: str | None = None
     deadline: float | None = None
     result: dict | None = field(default=None, repr=False)
@@ -181,6 +187,33 @@ class ShardLedger:
         self._requeue(record, message)
         return record.job_id
 
+    def reject_result(
+        self, shard_id: str, worker_id: str, reason: str
+    ) -> str | None:
+        """A result frame failed validation: requeue without poison-counting.
+
+        A shard whose *result* cannot be decoded did not fail to
+        execute — the transport (or a faulty worker serialiser) mangled
+        it — so the attempt is refunded before requeueing: a healthy
+        worker re-running the shard starts from the same attempt budget
+        it would have had without the mangled frame.  The refund is
+        bounded by ``max_attempts`` *rejects* per shard, so a worker
+        that deterministically produces garbage still exhausts the
+        budget and fails the job instead of looping forever.  Like
+        :meth:`fail`, the report only counts while ``worker_id`` holds
+        the lease.
+        """
+        record = self._shards.get(shard_id)
+        if record is None:
+            return None
+        if record.state != LEASED or record.worker != worker_id:
+            return record.job_id
+        record.rejects += 1
+        if record.rejects < self.max_attempts:
+            record.attempts = max(0, record.attempts - 1)
+        self._requeue(record, f"result rejected: {reason}")
+        return record.job_id
+
     def _requeue(self, record: ShardRecord, reason: str) -> None:
         if record.attempts >= self.max_attempts:
             record.state = FAILED
@@ -246,6 +279,26 @@ class ShardLedger:
         )
         return [(r.index, r.result) for r in records]
 
+    def done_results(
+        self, job_id: str, exclude=()
+    ) -> list[tuple[int, dict]]:
+        """``(index, result)`` pairs of the job's *completed* shards.
+
+        The incremental sibling of :meth:`job_results`, serving the
+        ``collect`` protocol: a checkpointing client polls for whatever
+        finished since its last poll, passing the indices it already
+        holds as ``exclude``.  Works on running jobs; index order.
+        """
+        skip = {int(i) for i in exclude}
+        out = [
+            (record.index, record.result)
+            for shard_id in self._jobs.get(job_id, ())
+            if (record := self._shards[shard_id]).state == DONE
+            and record.index not in skip
+        ]
+        out.sort(key=lambda pair: pair[0])
+        return out
+
     def drop_job(self, job_id: str) -> None:
         """Forget a job and its shards (after the client collected them)."""
         for shard_id in self._jobs.pop(job_id, []):
@@ -286,6 +339,7 @@ class QueueMetrics:
             "requeues": 0,
             "completes": 0,
             "worker_errors": 0,
+            "decode_rejects": 0,
         }
         self.wait_s: deque[float] = deque(maxlen=window)
         self.exec_s: deque[float] = deque(maxlen=window)
@@ -348,6 +402,10 @@ class QueueMetrics:
     def on_worker_error(self) -> None:
         """Count one worker-reported shard failure."""
         self.counters["worker_errors"] += 1
+
+    def on_decode_reject(self) -> None:
+        """Count one result frame rejected by envelope validation."""
+        self.counters["decode_rejects"] += 1
 
     def snapshot(self, now: float) -> dict:
         """JSON-able metrics for the ``status`` reply."""
@@ -642,16 +700,39 @@ class Broker:
                     )
                 elif kind == "complete":
                     now = time.monotonic()
-                    job_id = self.ledger.complete(
-                        message["shard_id"], message["result"]
-                    )
+                    shard_id = message["shard_id"]
+                    reason = result_envelope_error(message.get("result"))
+                    if reason is not None:
+                        # A structurally broken result would only blow
+                        # up later in the client's decode_result:
+                        # requeue the shard here (without burning an
+                        # attempt — this is a transport/serialiser
+                        # fault, not a task fault) and tell the worker.
+                        self.metrics.on_decode_reject()
+                        self.metrics.on_requeue()
+                        job_id = self.ledger.reject_result(
+                            shard_id, worker_id, reason
+                        )
+                        if tel.enabled:
+                            tel.event(
+                                "broker.reject",
+                                shard=shard_id,
+                                worker=worker_id,
+                                reason=reason,
+                            )
+                        await write_frame(
+                            writer, {"type": "rejected", "error": reason}
+                        )
+                        self._notify(job_id)
+                        continue
+                    job_id = self.ledger.complete(shard_id, message["result"])
                     elapsed = self.metrics.on_complete(
-                        message["shard_id"], now, message.get("stats")
+                        shard_id, now, message.get("stats")
                     )
                     if tel.enabled:
                         tel.event(
                             "broker.complete",
-                            shard=message["shard_id"],
+                            shard=shard_id,
                             worker=worker_id,
                         )
                         if elapsed is not None:
@@ -708,6 +789,40 @@ class Broker:
                     self._notify(job_id)  # an empty job is already done
                 elif kind == "wait":
                     await self._handle_wait(writer, message["job_id"])
+                elif kind == "collect":
+                    # Incremental, non-blocking collection: everything
+                    # done since the indices the client already holds.
+                    # Checkpointing clients poll this instead of "wait"
+                    # so completed shards persist before the job ends.
+                    job_id = message["job_id"]
+                    state, error = self.ledger.job_state(job_id)
+                    if state == "unknown":
+                        await write_frame(
+                            writer,
+                            {
+                                "type": "failed",
+                                "error": f"unknown job {job_id!r}",
+                            },
+                        )
+                    else:
+                        fresh = self.ledger.done_results(
+                            job_id, exclude=message.get("have", ())
+                        )
+                        await write_frame(
+                            writer,
+                            {
+                                "type": "partial",
+                                "state": state,
+                                "error": error,
+                                "results": [
+                                    {"index": index, "result": result}
+                                    for index, result in fresh
+                                ],
+                            },
+                        )
+                elif kind == "drop":
+                    self._drop_job(message["job_id"])
+                    await write_frame(writer, {"type": "ok"})
                 elif kind == "status":
                     await write_frame(
                         writer,

@@ -15,6 +15,12 @@ so concurrent clients never observe torn entries.  The default root is
 ``REPRO_CACHE_DIR`` environment variable (set it to ``off``, ``0`` or
 the empty string to disable caching entirely).
 
+Entries are integrity-checked: each stores a sha256 digest of its
+canonical result payload, verified on every :meth:`ResultCache.get`.
+A torn, truncated, or bit-flipped entry is quarantined (renamed to
+``*.corrupt``) and treated as a miss, so corruption costs a recompute
+— never a crash, and never a silently wrong result.
+
 The cache is bounded: ``REPRO_CACHE_MAX_BYTES`` (or the ``max_bytes``
 constructor argument) caps the total size of stored entries, enforced
 by LRU eviction ordered on file access times — every :meth:`get` hit
@@ -25,11 +31,13 @@ unbounded, the historical behaviour.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import threading
 from pathlib import Path
 
+from ..telemetry import get_telemetry
 from .wire import canonical_bytes, decode_result, encode_result
 
 __all__ = [
@@ -67,6 +75,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.corrupt = 0
         # Approximate store size, seeded by one scan on the first
         # bounded put and then maintained incrementally, so a put only
         # pays the full directory scan when the bound is actually
@@ -113,17 +122,59 @@ class ResultCache:
         """The file a result with content address ``key`` lives at."""
         return self.root / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside (``*.corrupt``) and count it.
+
+        Renaming rather than deleting keeps the evidence for post-mortem
+        while guaranteeing the entry can never be served again; the
+        caller then recomputes, and the next ``put`` writes a fresh
+        entry.
+        """
+        self.corrupt += 1
+        tel = get_telemetry()
+        tel.count("cache.corrupt")
+        if tel.enabled:
+            tel.event("cache.corrupt", path=str(path), reason=reason)
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass  # raced away (or read-only store): nothing left to serve
+
     def get(self, key: str):
         """Return the cached :class:`SpreadResult` for ``key``, or None.
 
-        Unreadable or torn entries count as misses (and are left for a
-        later ``put`` to overwrite) rather than failing the caller.
+        Integrity is verified on every read: entries carry a sha256
+        digest of their canonical result payload, and an entry that is
+        torn, truncated, or fails verification is *quarantined*
+        (renamed to ``*.corrupt``, counted in ``self.corrupt`` and the
+        ``cache.corrupt`` telemetry counter) and reported as a miss, so
+        the caller recomputes instead of crashing — or worse, silently
+        consuming a flipped bit.  An unreadable file (``OSError``) is a
+        plain miss: absence is not corruption.
         """
         path = self.path_for(key)
         try:
-            payload = json.loads(path.read_text())
-            result = decode_result(payload)
-        except (OSError, ValueError, KeyError):
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+            if (
+                isinstance(payload, dict)
+                and payload.get("kind") == "cache-entry"
+            ):
+                obj = payload["result"]
+                digest = hashlib.sha256(canonical_bytes(obj)).hexdigest()
+                if digest != payload.get("digest"):
+                    raise ValueError("payload digest mismatch")
+            else:
+                # Entry from before digests existed: still decodable,
+                # verified only by the decode itself.
+                obj = payload
+            result = decode_result(obj)
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path, "undecodable or digest mismatch")
             self.misses += 1
             return None
         # Bump the access time explicitly: LRU eviction orders on
@@ -145,10 +196,15 @@ class ResultCache:
         until the store fits (the fresh entry is never evicted).
         """
         obj = result if isinstance(result, dict) else encode_result(result)
+        entry = {
+            "kind": "cache-entry",
+            "digest": hashlib.sha256(canonical_bytes(obj)).hexdigest(),
+            "result": obj,
+        }
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.parent / f".{key}.{os.getpid()}.{threading.get_ident()}.tmp"
-        tmp.write_bytes(canonical_bytes(obj))
+        tmp.write_bytes(canonical_bytes(entry))
         os.replace(tmp, path)
         if self.max_bytes is not None:
             if self._stored_bytes is None:

@@ -1,4 +1,4 @@
-"""Client side of the shard queue: submit, wait, merge, cache.
+"""Client side of the shard queue: submit, wait, merge, cache — resiliently.
 
 :func:`execute_shards_remote` is the distributed mirror of
 :func:`repro.parallel.execute_shards` — same input (a list of
@@ -15,16 +15,43 @@ Before contacting the broker the client consults the content-addressed
 open a socket at all.  Freshly computed shard results are written back
 on arrival, so sweeps that revisit parameter points pay for each shard
 once, machine-wide.
+
+Resilience (PR 8): transport failures — refused dials, dropped or
+undecodable frames, a broker dying mid-job — are retried under a
+:class:`~repro.resilience.RetryPolicy` (each attempt resubmits only
+the still-missing shards, under a fresh job id), and a per-endpoint
+:class:`~repro.resilience.CircuitBreaker` converts repeated refusals
+into an immediate :class:`BrokerUnavailable`, which
+:func:`execute_shards_resilient` can degrade into local sharded
+execution (``fallback="local"``) with bit-identical results.  With
+``checkpoint=`` set, the client polls the broker's incremental
+``collect`` protocol and persists every completed shard (result into
+the cache, index into an atomic
+:class:`~repro.resilience.JobCheckpoint` manifest) the moment it
+lands, so a client killed mid-job resumes without recomputing —
+completed shards come back as cache hits.
 """
 
 from __future__ import annotations
 
 import socket
+import time
 import uuid
 
+from ..resilience import (
+    JobCheckpoint,
+    RetryError,
+    breaker_for,
+    execute_shards_checkpointed,
+    resolve_checkpoint,
+    resolve_fallback,
+    resolve_retry,
+)
+from ..resilience.faults import InjectedCrash, InjectedFault, active_fault_plan
 from ..telemetry import get_telemetry
 from .cache import resolve_cache
 from .wire import (
+    WireDecodeError,
     decode_result,
     encode_task,
     parse_endpoint,
@@ -35,7 +62,9 @@ from .wire import (
 
 __all__ = [
     "DistributedError",
+    "BrokerUnavailable",
     "execute_shards_remote",
+    "execute_shards_resilient",
     "run_distributed",
     "broker_status",
 ]
@@ -43,6 +72,16 @@ __all__ = [
 
 class DistributedError(RuntimeError):
     """A distributed job could not be completed (broker/worker failure)."""
+
+
+class BrokerUnavailable(DistributedError):
+    """The broker cannot be reached (retries exhausted or breaker open).
+
+    The transport-level subset of :class:`DistributedError`: the job
+    itself is fine, the queue is not.  This is the signal
+    ``fallback="local"`` acts on — a *logical* job failure (poison
+    shard, rejected submission) is never masked by falling back.
+    """
 
 
 def _request(sock: socket.socket, message: dict) -> dict:
@@ -58,6 +97,45 @@ def _request(sock: socket.socket, message: dict) -> dict:
     return reply
 
 
+def _exchange(sock: socket.socket, message: dict) -> dict:
+    """Send one frame, read one reply; raw transport errors propagate.
+
+    The retried sibling of :func:`_request`: callers inside the retry
+    loop want ``ConnectionError``/``TimeoutError``/``OSError`` to stay
+    themselves (they select the retry path), not to be wrapped.
+    """
+    send_frame(sock, message, site="client.send")
+    reply = recv_frame(sock)
+    if reply is None:
+        raise ConnectionError("broker closed the connection")
+    if reply.get("type") == "failed" and "malformed message" in str(
+        reply.get("error", "")
+    ):
+        # The broker could not parse the frame we just sent: the
+        # transport (or an injected corruption) mangled it in flight.
+        # That is a connection-level event, not a job rejection — let
+        # the retry policy resubmit on a fresh connection.
+        raise ConnectionError(
+            f"broker could not parse our frame: {reply.get('error')}"
+        )
+    return reply
+
+
+def _open_socket(endpoint, connect_timeout: float, timeout) -> socket.socket:
+    """Dial the broker; injected refusals surface as ``ConnectionError``."""
+    host, port = parse_endpoint(endpoint)
+    plan = active_fault_plan()
+    if plan is not None and plan.refuse_connection("client.connect"):
+        tel = get_telemetry()
+        tel.count("faults.injected")
+        if tel.enabled:
+            tel.event("faults.refuse", site="client.connect")
+        raise InjectedFault("refuse", "client.connect")
+    sock = socket.create_connection((host, port), timeout=connect_timeout)
+    sock.settimeout(timeout)
+    return sock
+
+
 def execute_shards_remote(
     tasks,
     endpoint,
@@ -65,6 +143,9 @@ def execute_shards_remote(
     cache="auto",
     timeout: float | None = None,
     connect_timeout: float = 10.0,
+    retry="default",
+    checkpoint="default",
+    poll_interval: float = 0.05,
 ) -> list:
     """Run shard tasks through a broker; results in input order.
 
@@ -73,76 +154,258 @@ def execute_shards_remote(
     content-addressed against ``cache`` (``"auto"`` honours
     ``REPRO_CACHE_DIR``; ``None`` disables), and only the misses are
     submitted as one job.  The call blocks until the broker reports
-    the job done (``timeout`` bounds the wait; None waits forever) and
-    raises :class:`DistributedError` if the job failed or the broker
-    vanished.
+    the job done (``timeout`` bounds each broker exchange; None waits
+    forever) and raises :class:`DistributedError` if the job failed.
+
+    ``retry`` (a :class:`~repro.resilience.RetryPolicy`, ``"default"``
+    for the configured process default, or None for single-shot)
+    governs transport failures: each attempt resubmits only the shards
+    still missing, under a fresh job id, and exhausting the policy
+    raises :class:`BrokerUnavailable`.  ``checkpoint`` (a manifest
+    path; ``"default"`` consults :func:`repro.resilience.configure`)
+    switches collection to the broker's incremental ``collect``
+    protocol and persists every completed shard as it lands, so an
+    interrupted call resumes from the manifest — completed shards are
+    served from the cache, observable via ``client.cache.hits``.
     """
     tasks = list(tasks)
     if not tasks:
         return []
     tel = get_telemetry()
+    policy = resolve_retry(retry)
+    checkpoint = resolve_checkpoint(checkpoint)
     store = resolve_cache(cache)
+    if checkpoint is not None and store is None:
+        raise ValueError(
+            "checkpointed execution needs a result cache (the manifest "
+            "stores shard digests, the cache stores the results); pass "
+            "cache='auto' or a cache path"
+        )
     encoded = [encode_task(task) for task in tasks]
     results: list = [None] * len(tasks)
+    manifest: JobCheckpoint | None = None
     if store is None:
         # No store, no content addresses: hashing the full canonical
         # encoding per shard would be pure overhead.
         keys: list[str | None] = [None] * len(tasks)
-        misses = list(range(len(tasks)))
     else:
         keys = [task_key(obj) for obj in encoded]
-        misses = []
+        if checkpoint is not None:
+            manifest = JobCheckpoint.open(checkpoint, keys)
+        hits = 0
         for i, key in enumerate(keys):
             hit = store.get(key)
-            if hit is None:
-                misses.append(i)
-            else:
+            if hit is not None:
                 results[i] = hit
-        hits = len(tasks) - len(misses)
+                hits += 1
+                if manifest is not None:
+                    manifest.mark_done(i)
+        misses = len(tasks) - hits
         if hits:
             tel.count("client.cache.hits", hits)
         if misses:
-            tel.count("client.cache.misses", len(misses))
+            tel.count("client.cache.misses", misses)
         if tel.enabled:
             tel.event(
-                "client.cache", hits=hits, misses=len(misses), shards=len(tasks)
+                "client.cache", hits=hits, misses=misses, shards=len(tasks)
             )
-    if not misses:
+        if manifest is not None:
+            manifest.save()
+    if all(result is not None for result in results):
         return results
 
-    job_id = uuid.uuid4().hex
-    host, port = parse_endpoint(endpoint)
-    try:
-        sock = socket.create_connection((host, port), timeout=connect_timeout)
-    except OSError as exc:
-        raise DistributedError(
-            f"cannot reach broker at {host}:{port}: {exc}"
-        ) from exc
-    with sock:
-        sock.settimeout(timeout)
-        reply = _request(
-            sock,
-            {
-                "type": "submit",
-                "job_id": job_id,
-                "tasks": [{"index": i, "task": encoded[i]} for i in misses],
-            },
+    breaker = breaker_for(str(endpoint))
+    if not breaker.allow():
+        tel.count("client.breaker_fastfails")
+        raise BrokerUnavailable(
+            f"cannot reach broker at {endpoint}: circuit breaker open, "
+            "failing fast"
         )
-        if reply.get("type") != "accepted":
-            raise DistributedError(
-                f"broker rejected job: {reply.get('error', reply)}"
+
+    def accept(index: int, payload: dict) -> bool:
+        """Decode + persist one shard result; False if undecodable."""
+        try:
+            result = decode_result(payload)
+        except WireDecodeError as exc:
+            tel.count("client.decode_rejects")
+            if tel.enabled:
+                tel.event("client.decode_reject", index=index, error=str(exc))
+            return False
+        results[index] = result
+        if store is not None:
+            store.put(keys[index], payload)
+        if manifest is not None:
+            manifest.mark_done(index)
+        return True
+
+    def run_attempt() -> None:
+        pending = [i for i in range(len(tasks)) if results[i] is None]
+        if not pending:
+            return
+        job_id = uuid.uuid4().hex
+        sock = _open_socket(endpoint, connect_timeout, timeout)
+        with sock:
+            reply = _exchange(
+                sock,
+                {
+                    "type": "submit",
+                    "job_id": job_id,
+                    "tasks": [
+                        {"index": i, "task": encoded[i]} for i in pending
+                    ],
+                },
             )
-        reply = _request(sock, {"type": "wait", "job_id": job_id})
-        if reply.get("type") == "failed":
-            raise DistributedError(f"distributed job failed: {reply.get('error')}")
-        if reply.get("type") != "done":
-            raise DistributedError(f"unexpected broker reply {reply.get('type')!r}")
-        for item in reply["results"]:
-            i = int(item["index"])
-            results[i] = decode_result(item["result"])
-            if store is not None:
-                store.put(keys[i], item["result"])
+            if reply.get("type") != "accepted":
+                raise DistributedError(
+                    f"broker rejected job: {reply.get('error', reply)}"
+                )
+            if manifest is None:
+                reply = _exchange(sock, {"type": "wait", "job_id": job_id})
+                if reply.get("type") == "failed":
+                    raise DistributedError(
+                        f"distributed job failed: {reply.get('error')}"
+                    )
+                if reply.get("type") != "done":
+                    raise DistributedError(
+                        f"unexpected broker reply {reply.get('type')!r}"
+                    )
+                for item in reply["results"]:
+                    accept(int(item["index"]), item["result"])
+            else:
+                _collect_loop(sock, job_id, pending)
+        still = [i for i in pending if results[i] is None]
+        if still:
+            # Some result frames survived transport but not decoding
+            # (e.g. injected payload corruption): resubmit just those
+            # under the retry policy.
+            raise ConnectionError(
+                f"{len(still)} shard result(s) undecodable; resubmitting"
+            )
+
+    def _collect_loop(sock, job_id: str, pending: list[int]) -> None:
+        plan = active_fault_plan()
+        have: set[int] = set()
+        while True:
+            reply = _exchange(
+                sock,
+                {"type": "collect", "job_id": job_id, "have": sorted(have)},
+            )
+            if reply.get("type") != "partial":
+                raise DistributedError(
+                    f"unexpected broker reply {reply.get('type')!r}"
+                )
+            fresh = reply.get("results", ())
+            for item in fresh:
+                index = int(item["index"])
+                have.add(index)
+                if not accept(index, item["result"]):
+                    # The broker holds a stored-but-undecodable result;
+                    # polling again returns the same bytes forever, so
+                    # abort the attempt and resubmit under a new job.
+                    raise ConnectionError(
+                        f"undecodable result for shard {index}; resubmitting"
+                    )
+            if fresh:
+                manifest.save()
+                tel.count("client.checkpointed", len(fresh))
+                if plan is not None and plan.crash_client(
+                    len(manifest.done_indices())
+                ):
+                    raise InjectedCrash(
+                        "client.collect", len(manifest.done_indices())
+                    )
+            state = reply.get("state")
+            if state == "failed":
+                raise DistributedError(
+                    f"distributed job failed: {reply.get('error')}"
+                )
+            if state == "done" and all(
+                results[i] is not None for i in pending
+            ):
+                _exchange(sock, {"type": "drop", "job_id": job_id})
+                return
+            time.sleep(poll_interval)
+
+    def attempt() -> None:
+        try:
+            run_attempt()
+        except (DistributedError, InjectedCrash):
+            raise  # logical failure / deliberate crash: never a breaker event
+        except (ConnectionError, TimeoutError, OSError):
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+
+    try:
+        policy.run(attempt, what=f"distributed job via {endpoint}")
+    except RetryError as exc:
+        raise BrokerUnavailable(
+            f"cannot reach broker at {endpoint}: {exc.last!r} "
+            f"(after {exc.attempts} attempt(s))"
+        ) from exc
     return results
+
+
+def execute_shards_resilient(
+    tasks,
+    endpoint,
+    *,
+    workers: int | None = None,
+    cache="auto",
+    retry="default",
+    checkpoint="default",
+    fallback="default",
+    mp_context: str | None = None,
+    schedule: str = "static",
+    timeout: float | None = None,
+    connect_timeout: float = 10.0,
+) -> list:
+    """Remote execution with graceful degradation to the local tier.
+
+    Runs :func:`execute_shards_remote`; if (and only if) that fails
+    with :class:`BrokerUnavailable` — retries exhausted or the
+    endpoint's circuit breaker open — and the resolved fallback mode is
+    ``"local"``, the same tasks complete via the in-process pool
+    (checkpointed when a manifest is configured), bit-identical by the
+    per-shard seed contract.  Logical job failures always propagate.
+    """
+    fallback_mode = resolve_fallback(fallback)
+    try:
+        return execute_shards_remote(
+            tasks,
+            endpoint,
+            cache=cache,
+            retry=retry,
+            checkpoint=checkpoint,
+            timeout=timeout,
+            connect_timeout=connect_timeout,
+        )
+    except BrokerUnavailable as exc:
+        if fallback_mode != "local":
+            raise
+        tel = get_telemetry()
+        tel.count("client.fallbacks")
+        if tel.enabled:
+            tel.event(
+                "client.fallback",
+                endpoint=str(endpoint),
+                mode="local",
+                cause=str(exc),
+            )
+        checkpoint_path = resolve_checkpoint(checkpoint)
+        if checkpoint_path is not None:
+            return execute_shards_checkpointed(
+                tasks,
+                workers=workers or 1,
+                cache=cache,
+                checkpoint=checkpoint_path,
+                mp_context=mp_context,
+            )
+        from ..parallel.sharding import execute_shards
+
+        return execute_shards(
+            tasks, workers, mp_context=mp_context, schedule=schedule
+        )
 
 
 def run_distributed(
@@ -161,12 +424,16 @@ def run_distributed(
     budget_bytes: int | None = None,
     max_shard: int | None = None,
     cache="auto",
+    retry="default",
+    checkpoint="default",
+    fallback="default",
 ):
     """Shard one engine invocation's R axis across a broker's workers.
 
     The drop-in distributed sibling of
     :func:`repro.parallel.run_sharded` — identical signature semantics
-    plus ``endpoint`` (the broker's ``host:port``) and ``cache``.
+    plus ``endpoint`` (the broker's ``host:port``), ``cache``, and the
+    resilience knobs (``retry``, ``checkpoint``, ``fallback``).
     The shard plan and per-shard spawned seeds are the same pure
     functions of the arguments, so the merged
     :class:`~repro.engine.SpreadResult` is bit-for-bit identical to
@@ -194,6 +461,9 @@ def run_distributed(
         record_visited=record_visited,
         endpoint=endpoint,
         cache=cache,
+        retry=retry,
+        checkpoint=checkpoint,
+        fallback=fallback,
         **kwargs,
     )
 

@@ -37,6 +37,7 @@ import base64
 import hashlib
 import json
 import struct
+import time
 
 import numpy as np
 
@@ -54,14 +55,18 @@ from ..engine.rules import (
 )
 from ..graphs.graph import Graph, SharedGraph
 from ..parallel.sharding import ShardTask
+from ..resilience.faults import InjectedFault, active_fault_plan
+from ..telemetry import get_telemetry
 
 __all__ = [
     "WIRE_VERSION",
     "MAX_FRAME_BYTES",
+    "WireDecodeError",
     "encode_task",
     "decode_task",
     "encode_result",
     "decode_result",
+    "result_envelope_error",
     "canonical_bytes",
     "task_key",
     "parse_endpoint",
@@ -80,6 +85,38 @@ WIRE_VERSION = 1
 #: Upper bound on one framed message (guards against a corrupt or
 #: hostile length prefix allocating gigabytes).
 MAX_FRAME_BYTES = 1 << 30
+
+
+class WireDecodeError(ValueError):
+    """A frame or message failed to decode.
+
+    Wraps the raw ``KeyError``/``ValueError``/``json.JSONDecodeError``
+    with what a broker/worker log actually needs: which *kind* of
+    message was being decoded, the offending key (when a required field
+    was missing or malformed), and the frame length (when the failure
+    happened at the framing layer).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str | None = None,
+        key: str | None = None,
+        frame_length: int | None = None,
+    ):
+        details = []
+        if kind is not None:
+            details.append(f"kind={kind}")
+        if key is not None:
+            details.append(f"key={key!r}")
+        if frame_length is not None:
+            details.append(f"frame_length={frame_length}")
+        suffix = f" ({', '.join(details)})" if details else ""
+        super().__init__(message + suffix)
+        self.kind = kind
+        self.key = key
+        self.frame_length = frame_length
 
 
 # ----------------------------------------------------------------------
@@ -521,21 +558,42 @@ def _check_version(obj: dict, kind: str) -> None:
         raise ValueError(f"expected a {kind!r} message, got {obj.get('kind')!r}")
 
 
+def _wrap_decode_error(kind: str, exc: BaseException) -> WireDecodeError:
+    """Build the :class:`WireDecodeError` for a failed *kind* decode."""
+    if isinstance(exc, KeyError):
+        key = str(exc.args[0]) if exc.args else None
+        return WireDecodeError(
+            f"malformed {kind} encoding: missing or malformed key",
+            kind=kind,
+            key=key,
+        )
+    return WireDecodeError(f"malformed {kind} encoding: {exc}", kind=kind)
+
+
 def decode_task(obj: dict) -> ShardTask:
-    """Rebuild a :class:`~repro.parallel.ShardTask` from its encoding."""
-    _check_version(obj, "task")
-    return ShardTask(
-        rule=_decode_rule(obj["rule"]),
-        topology=_decode_topology(obj["topology"]),
-        completion=_decode_completion(obj["completion"]),
-        state=_decode_array(obj["state"]),
-        seed=_decode_seed(obj["seed"]),
-        max_rounds=obj["max_rounds"],
-        track_hits=obj["track_hits"],
-        record_sizes=obj["record_sizes"],
-        record_visited=obj["record_visited"],
-        backend=obj.get("backend"),
-    )
+    """Rebuild a :class:`~repro.parallel.ShardTask` from its encoding.
+
+    Raises :class:`WireDecodeError` (never a raw ``KeyError``) when the
+    encoding is truncated, corrupted, or from another wire version.
+    """
+    try:
+        _check_version(obj, "task")
+        return ShardTask(
+            rule=_decode_rule(obj["rule"]),
+            topology=_decode_topology(obj["topology"]),
+            completion=_decode_completion(obj["completion"]),
+            state=_decode_array(obj["state"]),
+            seed=_decode_seed(obj["seed"]),
+            max_rounds=obj["max_rounds"],
+            track_hits=obj["track_hits"],
+            record_sizes=obj["record_sizes"],
+            record_visited=obj["record_visited"],
+            backend=obj.get("backend"),
+        )
+    except WireDecodeError:
+        raise
+    except (KeyError, ValueError, TypeError, AttributeError) as exc:
+        raise _wrap_decode_error("task", exc) from exc
 
 
 def encode_result(result: SpreadResult) -> dict:
@@ -559,16 +617,56 @@ def encode_result(result: SpreadResult) -> dict:
 
 
 def decode_result(obj: dict) -> SpreadResult:
-    """Rebuild a :class:`~repro.engine.SpreadResult` from its encoding."""
-    _check_version(obj, "result")
-    return SpreadResult(
-        finish_times=_decode_array(obj["finish_times"]),
-        rounds_run=int(obj["rounds_run"]),
-        final_state=_decode_array(obj["final_state"]),
-        hit_times=_maybe_array(obj["hit_times"]),
-        sizes=_maybe_array(obj["sizes"]),
-        visited_counts=_maybe_array(obj["visited_counts"]),
-    )
+    """Rebuild a :class:`~repro.engine.SpreadResult` from its encoding.
+
+    Raises :class:`WireDecodeError` (never a raw ``KeyError``) when the
+    encoding is truncated, corrupted, or from another wire version.
+    """
+    try:
+        _check_version(obj, "result")
+        return SpreadResult(
+            finish_times=_decode_array(obj["finish_times"]),
+            rounds_run=int(obj["rounds_run"]),
+            final_state=_decode_array(obj["final_state"]),
+            hit_times=_maybe_array(obj["hit_times"]),
+            sizes=_maybe_array(obj["sizes"]),
+            visited_counts=_maybe_array(obj["visited_counts"]),
+        )
+    except WireDecodeError:
+        raise
+    except (KeyError, ValueError, TypeError, AttributeError) as exc:
+        raise _wrap_decode_error("result", exc) from exc
+
+
+def result_envelope_error(obj) -> str | None:
+    """Cheap structural check of an encoded result; None when it looks sane.
+
+    The broker uses this to reject (and requeue) a result frame that
+    would blow up in the client's :func:`decode_result` — without
+    paying for a full array decode per shard on the broker's event
+    loop.  Returns a human-readable reason string on failure.
+    """
+    if not isinstance(obj, dict):
+        return f"result payload is {type(obj).__name__}, not a dict"
+    if obj.get("v") != WIRE_VERSION:
+        return f"wire version mismatch: {obj.get('v')!r}"
+    if obj.get("kind") != "result":
+        return f"not a result message: kind={obj.get('kind')!r}"
+    if not isinstance(obj.get("rounds_run"), int):
+        return "missing or non-integer rounds_run"
+    for field in ("finish_times", "final_state"):
+        payload = obj.get(field)
+        if not isinstance(payload, dict):
+            return f"missing array field {field!r}"
+        if not all(k in payload for k in ("dtype", "shape", "data")):
+            return f"array field {field!r} lacks dtype/shape/data"
+    for field in ("hit_times", "sizes", "visited_counts"):
+        payload = obj.get(field, "absent")
+        if payload == "absent":
+            return f"missing optional-array field {field!r}"
+        if payload is not None and not isinstance(payload, dict):
+            return f"optional-array field {field!r} is not a dict"
+    return None
 
 
 def canonical_bytes(obj: dict) -> bytes:
@@ -625,9 +723,47 @@ def _pack(obj: dict) -> bytes:
     return _FRAME_HEADER.pack(len(payload)) + payload
 
 
-def send_frame(sock, obj: dict) -> None:
-    """Write one length-prefixed JSON frame to a blocking socket."""
-    sock.sendall(_pack(obj))
+def _faulted_payload(plan, payload: bytes, site: str) -> bytes:
+    """Apply the plan's frame fault (if any) to an outbound payload.
+
+    Raises :class:`~repro.resilience.faults.InjectedFault` for a drop
+    (the frame never reaches the wire, and the caller sees the same
+    ``ConnectionError`` surface a real half-open drop produces);
+    returns mutated/duplicated bytes for corrupt/duplicate; sleeps for
+    delay.  Only called when a plan is installed.
+    """
+    kind = plan.frame_fault(site)
+    if kind is None:
+        return payload
+    tel = get_telemetry()
+    tel.count("faults.injected")
+    if tel.enabled:
+        tel.event("faults.frame", fault=kind, site=site)
+    if kind == "drop":
+        raise InjectedFault("drop", site)
+    if kind == "corrupt":
+        return plan.corrupt_payload(payload, site)
+    if kind == "duplicate":
+        return payload + payload
+    if kind == "delay":
+        time.sleep(plan.delay_s)
+    return payload
+
+
+def send_frame(sock, obj: dict, *, site: str | None = None) -> None:
+    """Write one length-prefixed JSON frame to a blocking socket.
+
+    ``site`` names the injection point for fault-injection runs (e.g.
+    ``"worker.send"``); with no :class:`~repro.resilience.FaultPlan`
+    installed — the production default — the hook is a single ``None``
+    check.
+    """
+    payload = _pack(obj)
+    if site is not None:
+        plan = active_fault_plan()
+        if plan is not None:
+            payload = _faulted_payload(plan, payload, site)
+    sock.sendall(payload)
 
 
 def _recv_exact(sock, count: int, *, allow_eof: bool = False) -> bytes | None:
@@ -651,7 +787,12 @@ def recv_frame(sock) -> dict | None:
     if length > MAX_FRAME_BYTES:
         raise ValueError(f"incoming frame of {length} bytes exceeds MAX_FRAME_BYTES")
     payload = _recv_exact(sock, length)
-    return json.loads(payload.decode("utf-8"))
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise WireDecodeError(
+            f"frame payload is not valid JSON: {exc}", frame_length=length
+        ) from exc
 
 
 async def read_frame(reader: asyncio.StreamReader) -> dict | None:
@@ -666,7 +807,12 @@ async def read_frame(reader: asyncio.StreamReader) -> dict | None:
     if length > MAX_FRAME_BYTES:
         raise ValueError(f"incoming frame of {length} bytes exceeds MAX_FRAME_BYTES")
     payload = await reader.readexactly(length)
-    return json.loads(payload.decode("utf-8"))
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise WireDecodeError(
+            f"frame payload is not valid JSON: {exc}", frame_length=length
+        ) from exc
 
 
 async def write_frame(writer: asyncio.StreamWriter, obj: dict) -> None:

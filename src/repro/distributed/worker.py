@@ -11,20 +11,41 @@ across a heterogeneous pool.
 
 While a shard is computing, a daemon heartbeat thread renews the lease
 at a third of the broker's lease timeout, so long shards on healthy
-workers are never requeued; a worker that is killed simply stops
+workers are never requeued; a transient socket error inside the
+heartbeat loop is counted and logged, never fatal — the loop keeps
+trying, so one dropped heartbeat doesn't expire a healthy lease and
+run the shard twice.  A worker that is killed simply stops
 heartbeating (and drops its connection), and the broker requeues its
 shard.  A task that *raises* is reported as an ``error`` message
 instead of silently dying, letting the broker retry it elsewhere or
 fail the job after ``max_attempts``.
+
+The session as a whole *reconnects*: a broken or injected-away
+connection closes the socket (the broker requeues any held lease on
+EOF) and re-dials under the worker's retry policy, so a broker restart
+or a chaos plan dropping frames costs requeues, not workers.  Fault
+injection (:mod:`repro.resilience.faults`) hooks the dial
+(``worker.connect``), the send paths (``worker.send``,
+``worker.heartbeat``) and the lease count (worker kill); with no plan
+installed every hook is a single ``None`` check.
 """
 
 from __future__ import annotations
 
+import os
 import socket
 import threading
 import time
 
 from ..parallel.sharding import run_shard
+from ..resilience import FAULT_PLAN_ENV_VAR, RetryPolicy
+from ..resilience.faults import (
+    FaultPlan,
+    InjectedFault,
+    active_fault_plan,
+    install_fault_plan,
+)
+from ..resilience.retry import RetryError
 from ..telemetry import get_telemetry
 from .wire import decode_task, encode_result, parse_endpoint, recv_frame, send_frame
 
@@ -44,25 +65,59 @@ def _heartbeat_loop(
     interval: float,
     stop: threading.Event,
 ) -> None:
+    tel = get_telemetry()
     while not stop.wait(interval):
+        plan = active_fault_plan()
+        if plan is not None and plan.stall_heartbeat():
+            tel.count("faults.injected")
+            if tel.enabled:
+                tel.event("faults.heartbeat_stall", shard=shard_id)
+            continue
         try:
             with lock:
-                send_frame(sock, {"type": "heartbeat", "shard_id": shard_id})
-        except OSError:
-            return
+                send_frame(
+                    sock,
+                    {"type": "heartbeat", "shard_id": shard_id},
+                    site="worker.heartbeat",
+                )
+        except OSError as exc:
+            # Transient drop: count it, log it, keep beating.  Silently
+            # dying here would let the lease expire while the shard
+            # keeps running, and the broker would schedule it twice.
+            tel.count("worker.heartbeat.errors")
+            if tel.enabled:
+                tel.event(
+                    "worker.heartbeat.error",
+                    shard=shard_id,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            continue
 
 
-def _connect(
-    host: str, port: int, retries: int, retry_delay: float
-) -> socket.socket:
-    for attempt in range(retries + 1):
-        try:
-            return socket.create_connection((host, port), timeout=10.0)
-        except OSError:
-            if attempt == retries:
-                raise
-            time.sleep(retry_delay)
-    raise AssertionError("unreachable")  # pragma: no cover
+def _dial(host: str, port: int, policy: RetryPolicy) -> socket.socket:
+    """Connect to the broker under *policy*, honouring injected refusals."""
+
+    def attempt() -> socket.socket:
+        plan = active_fault_plan()
+        if plan is not None and plan.refuse_connection("worker.connect"):
+            tel = get_telemetry()
+            tel.count("faults.injected")
+            if tel.enabled:
+                tel.event("faults.refuse", site="worker.connect")
+            raise InjectedFault("refuse", "worker.connect")
+        sock = socket.create_connection((host, port), timeout=10.0)
+        sock.settimeout(None)
+        return sock
+
+    return policy.run(attempt, what=f"dial broker {host}:{port}")
+
+
+def _plan_from_env() -> FaultPlan | None:
+    """Pick up a fault plan serialised into :data:`FAULT_PLAN_ENV_VAR`."""
+    spec = os.environ.get(FAULT_PLAN_ENV_VAR)
+    if not spec:
+        return None
+    return FaultPlan.from_json(spec)
 
 
 def run_worker(
@@ -72,6 +127,7 @@ def run_worker(
     poll_interval: float = 0.5,
     connect_retries: int = 20,
     retry_delay: float = 0.25,
+    faults: FaultPlan | None = None,
 ) -> int:
     """Serve shards from ``endpoint`` until the broker goes away.
 
@@ -82,95 +138,152 @@ def run_worker(
         accepts (``"host:port"``).
     max_tasks:
         Exit after this many completed shards (None = run until the
-        broker closes the connection — the CLI deployment mode).
+        broker goes away for longer than the dial retries cover — the
+        CLI deployment mode).
     poll_interval:
         Sleep between lease attempts while the queue is empty.
     connect_retries / retry_delay:
-        Dial retries, so workers may be launched before (or while) the
-        broker comes up.
+        Dial retries (fixed spacing), so workers may be launched before
+        (or while) the broker comes up — and, on a mid-session
+        disconnect, how long the worker keeps re-dialing before giving
+        up.
+    faults:
+        An explicit :class:`~repro.resilience.FaultPlan` to install for
+        this process (chaos harness use).  When None, the
+        ``REPRO_FAULT_PLAN`` environment variable is consulted, so
+        spawned worker processes inherit the plan.
 
     Returns the number of shards completed (including ones that ended
-    in a reported error).
+    in a reported error).  The very first dial failing (no broker ever
+    reachable) raises; a *lost* broker after a working session exits
+    cleanly once re-dialing gives up.
     """
     host, port = parse_endpoint(endpoint)
-    sock = _connect(host, port, int(connect_retries), float(retry_delay))
-    sock.settimeout(None)
-    lock = threading.Lock()
+    plan = faults if faults is not None else _plan_from_env()
+    if plan is not None:
+        install_fault_plan(plan)
+    dial_policy = RetryPolicy(
+        attempts=int(connect_retries) + 1,
+        base_delay_s=float(retry_delay),
+        max_delay_s=float(retry_delay),
+        multiplier=1.0,
+        jitter=0.0,
+        retry_on=(OSError,),
+    )
     completed = 0
+    leases = 0
     tel = get_telemetry()
-    try:
-        while max_tasks is None or completed < max_tasks:
-            with lock:
-                send_frame(sock, {"type": "lease"})
-            message = recv_frame(sock)
-            if message is None:
-                break
-            kind = message.get("type")
-            if kind == "idle":
-                time.sleep(poll_interval)
-                continue
-            if kind != "task":
-                break
-            shard_id = message["shard_id"]
-            interval = max(0.05, float(message.get("lease_timeout", 30.0)) / 3.0)
-            stop = threading.Event()
-            heartbeat = threading.Thread(
-                target=_heartbeat_loop,
-                args=(sock, lock, shard_id, interval, stop),
-                name="repro-worker-heartbeat",
-                daemon=True,
-            )
-            heartbeat.start()
+    ever_connected = False
+    while max_tasks is None or completed < max_tasks:
+        try:
+            sock = _dial(host, port, dial_policy)
+        except (RetryError, OSError) as exc:
+            if not ever_connected:
+                cause = exc.last if isinstance(exc, RetryError) else exc
+                raise (
+                    cause if isinstance(cause, OSError) else exc
+                ) from exc
+            break
+        if ever_connected:
+            tel.count("worker.reconnects")
             if tel.enabled:
-                tel.event("worker.lease", shard=shard_id)
-            try:
-                result = run_shard(decode_task(message["task"]))
-            except Exception as exc:
+                tel.event("worker.reconnect", endpoint=f"{host}:{port}")
+        ever_connected = True
+        lock = threading.Lock()
+        try:
+            while max_tasks is None or completed < max_tasks:
+                with lock:
+                    send_frame(sock, {"type": "lease"}, site="worker.send")
+                message = recv_frame(sock)
+                if message is None:
+                    break
+                kind = message.get("type")
+                if kind == "idle":
+                    time.sleep(poll_interval)
+                    continue
+                if kind != "task":
+                    break
+                leases += 1
+                if plan is not None and plan.kill_worker(leases):
+                    # A chaos kill is a SIGKILL stand-in: no cleanup,
+                    # no goodbye frame — the broker must recover from
+                    # lease expiry / EOF alone.
+                    tel.count("faults.injected")
+                    os._exit(17)
+                shard_id = message["shard_id"]
+                interval = max(
+                    0.05, float(message.get("lease_timeout", 30.0)) / 3.0
+                )
+                stop = threading.Event()
+                heartbeat = threading.Thread(
+                    target=_heartbeat_loop,
+                    args=(sock, lock, shard_id, interval, stop),
+                    name="repro-worker-heartbeat",
+                    daemon=True,
+                )
+                heartbeat.start()
+                if tel.enabled:
+                    tel.event("worker.lease", shard=shard_id)
+                try:
+                    result = run_shard(decode_task(message["task"]))
+                except Exception as exc:
+                    stop.set()
+                    heartbeat.join()
+                    tel.count("worker.errors")
+                    if tel.enabled:
+                        tel.event(
+                            "worker.error",
+                            shard=shard_id,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    with lock:
+                        send_frame(
+                            sock,
+                            {
+                                "type": "error",
+                                "shard_id": shard_id,
+                                "message": f"{type(exc).__name__}: {exc}",
+                            },
+                            site="worker.send",
+                        )
+                    if recv_frame(sock) is None:
+                        break
+                    completed += 1
+                    continue
                 stop.set()
                 heartbeat.join()
-                tel.count("worker.errors")
+                shard_meta = (result.meta or {}).get("shard") or {}
+                stats = {
+                    key: shard_meta[key]
+                    for key in _STATS_KEYS
+                    if key in shard_meta
+                }
+                tel.count("worker.completed")
                 if tel.enabled:
-                    tel.event(
-                        "worker.error",
-                        shard=shard_id,
-                        error=f"{type(exc).__name__}: {exc}",
-                    )
+                    tel.event("worker.complete", shard=shard_id, **stats)
                 with lock:
-                    send_frame(
-                        sock,
-                        {
-                            "type": "error",
-                            "shard_id": shard_id,
-                            "message": f"{type(exc).__name__}: {exc}",
-                        },
-                    )
+                    frame = {
+                        "type": "complete",
+                        "shard_id": shard_id,
+                        "result": encode_result(result),
+                    }
+                    if stats:
+                        frame["stats"] = stats
+                    send_frame(sock, frame, site="worker.send")
                 if recv_frame(sock) is None:
                     break
                 completed += 1
-                continue
-            stop.set()
-            heartbeat.join()
-            shard_meta = (result.meta or {}).get("shard") or {}
-            stats = {
-                key: shard_meta[key] for key in _STATS_KEYS if key in shard_meta
-            }
-            tel.count("worker.completed")
-            if tel.enabled:
-                tel.event("worker.complete", shard=shard_id, **stats)
-            with lock:
-                frame = {
-                    "type": "complete",
-                    "shard_id": shard_id,
-                    "result": encode_result(result),
-                }
-                if stats:
-                    frame["stats"] = stats
-                send_frame(sock, frame)
-            if recv_frame(sock) is None:
-                break
-            completed += 1
-    except (ConnectionError, OSError):
-        pass
-    finally:
-        sock.close()
+            else:
+                # max_tasks reached inside a live session.
+                sock.close()
+                return completed
+            # Clean EOF or a non-task reply: the broker went away (or
+            # is restarting).  Fall through to re-dial.
+        except (ConnectionError, OSError):
+            # Includes injected frame drops (InjectedFault is a
+            # ConnectionError): close this session and re-dial — the
+            # broker requeues the held lease when it sees EOF.
+            pass
+        finally:
+            sock.close()
     return completed

@@ -439,9 +439,14 @@ def _sharded_dynamic_times(
             )
         )
     if endpoint is not None:
-        from ..distributed.client import execute_shards_remote
+        # The resilient entry point inherits the process-wide retry /
+        # checkpoint / fallback configuration, so a dying broker
+        # degrades a dynamic sweep exactly like a static one.
+        from ..distributed.client import execute_shards_resilient
 
-        results = execute_shards_remote(tasks, endpoint, cache=cache)
+        results = execute_shards_resilient(
+            tasks, endpoint, workers=workers, cache=cache
+        )
     else:
         results = execute_shards(tasks, workers)
     res = merge_shard_results(results)

@@ -450,6 +450,9 @@ class SpreadEngine:
         endpoint: str | None = None,
         cache="auto",
         backend: str | None = None,
+        retry="default",
+        checkpoint="default",
+        fallback="default",
     ) -> SpreadResult:
         """Advance the runs sharded across worker processes.
 
@@ -482,7 +485,10 @@ class SpreadEngine:
         immediately; results re-keyed by shard index, so output is
         unchanged).  ``endpoint`` routes the same shard plan through a
         :mod:`repro.distributed` broker instead of a local pool — see
-        :meth:`run_distributed`.
+        :meth:`run_distributed`.  ``retry`` / ``checkpoint`` /
+        ``fallback`` are the resilience knobs threaded to
+        :func:`repro.parallel.run_sharded` (transport retries,
+        resumable manifests, graceful degradation to the local tier).
         """
         from ..parallel import sharding
 
@@ -507,6 +513,9 @@ class SpreadEngine:
             endpoint=endpoint,
             cache=cache,
             backend=backend,
+            retry=retry,
+            checkpoint=checkpoint,
+            fallback=fallback,
             **kwargs,
         )
 
@@ -525,6 +534,9 @@ class SpreadEngine:
         max_shard: int | None = None,
         cache="auto",
         backend: str | None = None,
+        retry="default",
+        checkpoint="default",
+        fallback="default",
     ) -> SpreadResult:
         """Advance the runs sharded across a broker's worker fleet.
 
@@ -538,7 +550,9 @@ class SpreadEngine:
         ``REPRO_CACHE_DIR``; ``None`` disables).  The merged
         :class:`SpreadResult` is bit-for-bit identical to
         ``run_sharded(workers=1)`` regardless of worker count, arrival
-        order, or requeues.
+        order, or requeues.  ``retry`` / ``checkpoint`` / ``fallback``
+        govern transport retries, resumable manifests, and graceful
+        degradation to local execution when the broker is unreachable.
         """
         return self.run_sharded(
             state,
@@ -552,4 +566,7 @@ class SpreadEngine:
             endpoint=endpoint,
             cache=cache,
             backend=backend,
+            retry=retry,
+            checkpoint=checkpoint,
+            fallback=fallback,
         )

@@ -445,6 +445,9 @@ def run_sharded(
     endpoint: str | None = None,
     cache="auto",
     backend: str | None = None,
+    retry="default",
+    checkpoint="default",
+    fallback="default",
 ):
     """Shard one engine invocation's R axis across worker processes.
 
@@ -466,6 +469,17 @@ def run_sharded(
     (no shared memory), results are content-address cached per
     ``cache``, and the merged output stays bit-for-bit identical to
     every local execution mode.
+
+    ``retry``, ``checkpoint`` and ``fallback`` are the resilience knobs
+    (see :mod:`repro.resilience`): ``retry`` governs transport retries
+    on the broker path, ``checkpoint`` names a manifest that makes the
+    run resumable (local *and* remote — completed shards are served
+    from the content-addressed cache on re-invocation), and
+    ``fallback="local"`` completes an ``endpoint=`` run in-process when
+    the broker is unreachable, bit-identically.  All three default to
+    the process-wide :func:`repro.resilience.configure` settings, which
+    default to no checkpoint, no fallback, and a small capped
+    exponential-backoff retry.
 
     ``backend`` is the kernel-backend request (see
     :mod:`repro.kernels.dispatch`); it is resolved here against the
@@ -519,9 +533,23 @@ def run_sharded(
         else None
     )
     with span if span is not None else contextlib.nullcontext():
+        checkpoint_path = None
+        if endpoint is None:
+            from ..resilience import resolve_checkpoint
+
+            checkpoint_path = resolve_checkpoint(checkpoint)
         shared: SharedGraph | None = None
         ship: object = topo
-        if endpoint is None and workers > 1 and isinstance(topo, StaticTopology):
+        # Checkpointed local runs content-address their tasks through
+        # the wire encoding, which a process-local SharedGraph handle
+        # cannot cross: ship by value instead (same keys as the
+        # distributed tier, so a resume can switch tiers freely).
+        if (
+            endpoint is None
+            and checkpoint_path is None
+            and workers > 1
+            and isinstance(topo, StaticTopology)
+        ):
             shared = topo.base.to_shared()
             ship = shared
         # Observing topologies (adaptive adversaries) accumulate a per-run
@@ -550,13 +578,34 @@ def run_sharded(
                 for lo, hi, s in zip(bounds[:-1], bounds[1:], seeds)
             ]
             if endpoint is not None:
-                from ..distributed.client import execute_shards_remote
+                from ..distributed.client import execute_shards_resilient
 
-                results = execute_shards_remote(tasks, endpoint, cache=cache)
-            else:
-                results = execute_shards(
-                    tasks, workers, mp_context=mp_context, schedule=schedule
+                results = execute_shards_resilient(
+                    tasks,
+                    endpoint,
+                    workers=workers,
+                    cache=cache,
+                    retry=retry,
+                    checkpoint=checkpoint,
+                    fallback=fallback,
+                    mp_context=mp_context,
+                    schedule=schedule,
                 )
+            else:
+                if checkpoint_path is not None:
+                    from ..resilience import execute_shards_checkpointed
+
+                    results = execute_shards_checkpointed(
+                        tasks,
+                        workers=workers,
+                        cache=cache,
+                        checkpoint=checkpoint_path,
+                        mp_context=mp_context,
+                    )
+                else:
+                    results = execute_shards(
+                        tasks, workers, mp_context=mp_context, schedule=schedule
+                    )
         finally:
             if shared is not None:
                 # Unlink first: through the still-open creator handle it

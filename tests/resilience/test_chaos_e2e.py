@@ -1,0 +1,54 @@
+"""End-to-end chaos acceptance: the fault matrix and recovery drills.
+
+This drives the same harness as ``repro chaos``: every fault class runs
+serial/sharded/distributed and must be bit-identical to the fault-free
+reference; a dead broker degrades to local execution; a client killed
+mid-job resumes from its checkpoint without recomputing finished
+shards.
+"""
+
+import pytest
+
+from repro.resilience import chaos
+from repro.resilience.chaos import (
+    FAULT_CLASSES,
+    chaos_case,
+    checkpoint_drill,
+    fallback_drill,
+    format_report,
+)
+
+
+@pytest.mark.parametrize("fault", FAULT_CLASSES)
+def test_fault_class_matrix(fault):
+    report = chaos_case(fault, seed=0)
+    assert report == {"serial": True, "sharded": True, "distributed": True}
+
+
+def test_fallback_local_on_dead_broker():
+    report = fallback_drill(seed=0)
+    assert report["ok"]
+    assert report["fallbacks"] >= 1
+
+
+def test_killed_client_resumes_from_checkpoint():
+    report = checkpoint_drill(seed=0)
+    assert report["crashed"], "the injected client crash must fire"
+    assert report["resumed_from_cache"] >= 2, (
+        "resume must serve checkpointed shards from cache, not recompute"
+    )
+    assert report["ok"]
+
+
+def test_smoke_report_shape():
+    report = chaos.run_chaos_smoke(seed=2)
+    assert report["ok"]
+    assert set(report["cases"]) == {
+        "worker-kill",
+        "frame-drop",
+        "fallback-local",
+        "checkpoint-resume",
+    }
+    text = format_report(report)
+    assert "ALL GREEN" in text
+    assert "checkpoint-resume" in text

@@ -1,0 +1,207 @@
+"""RetryPolicy and CircuitBreaker unit tests (no sockets, no sleeps).
+
+Backoff schedules are asserted to be deterministic in the seed (two
+policies given the same seed produce identical delays — the property
+that makes chaos runs replayable) and the breaker state machine is
+driven with a fake clock.
+"""
+
+import pytest
+
+from repro.resilience import (
+    CircuitBreaker,
+    RetryError,
+    RetryPolicy,
+    breaker_for,
+    reset_breakers,
+)
+from repro.telemetry import get_telemetry
+
+
+class TestDelaySchedule:
+    def test_deterministic_in_seed(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=2.0)
+        a = [policy.delay_s(k, seed=42) for k in range(1, 6)]
+        b = [RetryPolicy(base_delay_s=0.1, max_delay_s=2.0).delay_s(k, seed=42)
+             for k in range(1, 6)]
+        assert a == b
+
+    def test_seed_changes_jitter(self):
+        policy = RetryPolicy()
+        assert [policy.delay_s(k, seed=1) for k in range(1, 5)] != [
+            policy.delay_s(k, seed=2) for k in range(1, 5)
+        ]
+
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, max_delay_s=0.4, multiplier=2.0, jitter=0.0
+        )
+        assert [policy.delay_s(k) for k in range(1, 5)] == pytest.approx(
+            [0.1, 0.2, 0.4, 0.4]
+        )
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay_s=1.0, max_delay_s=1.0, jitter=0.5)
+        for seed in range(30):
+            d = policy.delay_s(1, seed=seed)
+            assert 0.5 <= d <= 1.5
+
+
+class TestRun:
+    def test_succeeds_after_transient_failures(self):
+        sleeps = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ConnectionError("transient")
+            return "ok"
+
+        policy = RetryPolicy(attempts=4, base_delay_s=0.01, jitter=0.0)
+        assert policy.run(flaky, sleep=sleeps.append) == "ok"
+        assert calls["n"] == 3
+        assert len(sleeps) == 2
+
+    def test_exhaustion_raises_retry_error_chaining_last(self):
+        def dead():
+            raise ConnectionRefusedError("nope")
+
+        policy = RetryPolicy(attempts=3, base_delay_s=0.01)
+        with pytest.raises(RetryError) as err:
+            policy.run(dead, what="dial broker", sleep=lambda _s: None)
+        assert err.value.attempts == 3
+        assert isinstance(err.value.last, ConnectionRefusedError)
+        assert "dial broker" in str(err.value)
+        assert isinstance(err.value, ConnectionError)  # catchable as such
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise ValueError("logic bug")
+
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=5).run(broken, sleep=lambda _s: None)
+        assert calls["n"] == 1
+
+    def test_attempts_one_means_no_retry(self):
+        calls = {"n": 0}
+
+        def dead():
+            calls["n"] += 1
+            raise ConnectionError("x")
+
+        with pytest.raises(RetryError):
+            RetryPolicy(attempts=1).run(dead, sleep=lambda _s: None)
+        assert calls["n"] == 1
+
+    def test_budget_stops_early(self):
+        calls = {"n": 0}
+
+        def dead():
+            calls["n"] += 1
+            raise ConnectionError("x")
+
+        policy = RetryPolicy(
+            attempts=10, base_delay_s=1.0, multiplier=1.0, jitter=0.0,
+            budget_s=2.5,
+        )
+        with pytest.raises(RetryError):
+            policy.run(dead, sleep=lambda _s: None)
+        # Two 1.0s sleeps fit the 2.5s budget; the third would blow it,
+        # so exactly 3 calls happen.
+        assert calls["n"] == 3
+
+    def test_on_retry_callback_and_counter(self):
+        tel = get_telemetry()
+        before = tel.counters().get("retry.retries", 0)
+        seen = []
+
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 2:
+                raise ConnectionError("once")
+            return 1
+
+        RetryPolicy(attempts=3, base_delay_s=0.01).run(
+            flaky,
+            sleep=lambda _s: None,
+            on_retry=lambda attempt, delay, err: seen.append(
+                (attempt, type(err))
+            ),
+        )
+        assert seen == [(1, ConnectionError)]
+        assert tel.counters().get("retry.retries", 0) == before + 1
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kw):
+        clock = {"t": 0.0}
+        kw.setdefault("failure_threshold", 3)
+        kw.setdefault("cooldown_s", 10.0)
+        breaker = CircuitBreaker("test", clock=lambda: clock["t"], **kw)
+        return breaker, clock
+
+    def test_trips_after_consecutive_failures(self):
+        breaker, _clock = self._breaker()
+        for _ in range(2):
+            breaker.record_failure()
+            assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_failure_run(self):
+        breaker, _clock = self._breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_admits_single_probe(self):
+        breaker, clock = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock["t"] = 11.0
+        assert breaker.state == "half-open"
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # but only one
+
+    def test_probe_success_closes(self):
+        breaker, clock = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock["t"] = 11.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_probe_failure_restarts_cooldown(self):
+        breaker, clock = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock["t"] = 11.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock["t"] = 20.0  # 9s after reopening: still cooling down
+        assert not breaker.allow()
+        clock["t"] = 21.5
+        assert breaker.allow()
+
+    def test_registry_returns_same_instance(self):
+        reset_breakers()
+        try:
+            a = breaker_for("127.0.0.1:7603")
+            b = breaker_for("127.0.0.1:7603")
+            c = breaker_for("127.0.0.1:9999")
+            assert a is b
+            assert a is not c
+        finally:
+            reset_breakers()

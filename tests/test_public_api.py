@@ -33,6 +33,7 @@ class TestTopLevelApi:
         import repro.graphs
         import repro.kernels
         import repro.parallel
+        import repro.resilience
         import repro.stats
         import repro.telemetry
         import repro.theory
@@ -48,6 +49,7 @@ class TestTopLevelApi:
             repro.graphs,
             repro.kernels,
             repro.parallel,
+            repro.resilience,
             repro.stats,
             repro.telemetry,
             repro.theory,
