@@ -37,14 +37,17 @@ from repro.core.branching import make_policy
 from repro.engine import BipsRule, CobraRule, PushRule, SpreadEngine
 from repro.graphs import random_regular_graph
 from repro.kernels import backend_available
+from repro.telemetry.compare import KERNEL_GATE_N, KERNEL_SPEEDUP_FLOOR
 
 SIZES = (10_000, 100_000)
 RUNS = 32
 DEGREE = 8
 SEED = 20170724
 MAX_ROUNDS = 12
-SPEEDUP_FLOOR = 10.0
-GATE_N = 100_000
+# The gate itself lives in repro.telemetry.compare (evaluate_gates), so
+# the bench script, `repro bench compare`, and CI share one floor.
+SPEEDUP_FLOOR = KERNEL_SPEEDUP_FLOOR
+GATE_N = KERNEL_GATE_N
 
 #: rule key -> (rule factory, compiled backend to compare against numpy)
 CELLS = {
@@ -158,16 +161,22 @@ def test_backend_rows_cover_numpy_baseline():
     reason="compiled-kernel gate needs numba installed",
 )
 def test_kernel_speedup_gate():
-    """Acceptance gate: >= 10x per-round for COBRA under numba at n=1e5."""
+    """Acceptance gate: >= 10x per-round for COBRA under numba at n=1e5.
+
+    Recorded first, then asserted through the comparator's
+    ``evaluate_gates`` — the same code path ``repro bench compare``
+    runs on every committed entry.
+    """
+    from repro.telemetry import evaluate_gates, load_bench
+
     rows, _ = measure(sizes=(GATE_N,))
-    record_bench(
+    path = record_bench(
         "kernels", rows, meta={"gate": f">={SPEEDUP_FLOOR}x", "seed": SEED}
     )
-    speedup = gate_speedup(rows, "cobra", "numba", GATE_N)
-    assert speedup >= SPEEDUP_FLOOR, (
-        f"cobra numba speedup {speedup:.2f}x below the "
-        f"{SPEEDUP_FLOOR}x floor: {rows}"
-    )
+    gates = evaluate_gates(load_bench(path))
+    assert gates, "kernel gate did not evaluate on the recorded entry"
+    failed = [g for g in gates if g.regressed]
+    assert not failed, f"kernel gate failed: {failed}; rows: {rows}"
 
 
 # ----------------------------------------------------------------------

@@ -40,14 +40,17 @@ from repro.core.branching import make_policy
 from repro.core.cobra import CobraProcess
 from repro.engine import CobraRule, SpreadEngine
 from repro.graphs import random_regular_graph
+from repro.telemetry.compare import SHARDING_MIN_CPUS, SHARDING_SPEEDUP_FLOOR
 
 N = 16384
 RUNS = 1024
 DEGREE = 8
 SEED = 20170724
 WORKER_GRID = (1, 2, 4)
-SPEEDUP_FLOOR = 3.0
-MIN_CPUS_FOR_GATE = 4
+# The gate itself lives in repro.telemetry.compare (evaluate_gates), so
+# the bench script, `repro bench compare`, and CI share one floor.
+SPEEDUP_FLOOR = SHARDING_SPEEDUP_FLOOR
+MIN_CPUS_FOR_GATE = SHARDING_MIN_CPUS
 
 
 def build_cell(n: int = N, runs: int = RUNS):
@@ -194,17 +197,23 @@ def test_sharded_determinism_small():
     reason=f"speedup gate needs >= {MIN_CPUS_FOR_GATE} CPUs",
 )
 def test_sharded_speedup_gate():
-    """Acceptance gate: >= 3x over run_batch at n=16384, R=1024, 4 workers."""
+    """Acceptance gate: >= 3x over run_batch at n=16384, R=1024, 4 workers.
+
+    Recorded first, then asserted through the comparator's
+    ``evaluate_gates`` — the same code path ``repro bench compare``
+    runs on every committed entry.
+    """
+    from repro.telemetry import evaluate_gates, load_bench
+
     rows, telemetry = measure()
-    record_bench(
+    path = record_bench(
         "sharding", rows, meta={"gate": f">={SPEEDUP_FLOOR}x"},
         telemetry=telemetry,
     )
-    speedup = best_speedup(rows)
-    assert speedup >= SPEEDUP_FLOOR, (
-        f"best sharded speedup {speedup:.2f}x below the "
-        f"{SPEEDUP_FLOOR}x floor: {rows}"
-    )
+    gates = evaluate_gates(load_bench(path))
+    assert gates, "sharding gate did not evaluate on the recorded entry"
+    failed = [g for g in gates if g.regressed]
+    assert not failed, f"sharding gate failed: {failed}; rows: {rows}"
 
 
 # ----------------------------------------------------------------------

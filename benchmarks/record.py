@@ -54,13 +54,19 @@ def telemetry_summary(extra: dict | None = None) -> dict:
     so per-round engine observations actually aggregate, then call
     this before resetting.  ``extra`` merges benchmark-specific
     observations (e.g. shard timing skew) into the digest.
+
+    The returned digest is canonical (sorted keys, stable float
+    rounding via :func:`repro.telemetry.baseline.canonical_digest`),
+    so identical runs produce byte-identical BENCH telemetry blocks
+    that ``repro bench compare`` can diff exactly.
     """
     from repro.telemetry import get_telemetry
+    from repro.telemetry.baseline import canonical_digest
 
     digest = get_telemetry().snapshot()
     if extra:
         digest.update(extra)
-    return digest
+    return canonical_digest(digest)
 
 
 def record_bench(

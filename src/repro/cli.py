@@ -10,7 +10,10 @@ Subcommands::
     repro broker --port 7603                  # shard-queue broker
     repro worker 127.0.0.1:7603               # worker attached to a broker
     repro status 127.0.0.1:7603 [--watch 2]   # broker queue counters + metrics
-    repro trace summarize trace.jsonl         # span tree + hot-round histograms
+    repro trace summarize trace.jsonl [...]   # stitched span tree + histograms
+    repro bench compare [--fail-on-regress PCT]  # BENCH regression analytics
+    repro bench report                        # ASCII perf trend tables
+    repro bench migrate                       # normalize old BENCH schemas
     repro chaos [--smoke] [--seed N]          # seeded fault-injection matrix
 
 Experiment output is the table(s) plus the pass/fail shape checks from
@@ -364,10 +367,71 @@ def build_parser() -> argparse.ArgumentParser:
     trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
     trace_sum_p = trace_sub.add_parser(
         "summarize",
-        help="render a trace's span tree, counters and hot-round "
-        "histograms (exits non-zero on a malformed trace)",
+        help="render a trace's span tree, per-hop breakdown, counters "
+        "and hot-round histograms; several per-host files merge into "
+        "one stitched tree (exits non-zero on a missing, empty or "
+        "malformed trace)",
     )
-    trace_sum_p.add_argument("path", help="JSONL trace written by --telemetry")
+    trace_sum_p.add_argument(
+        "path",
+        nargs="+",
+        help="JSONL trace file(s) written by --telemetry; multiple "
+        "files (client, broker, workers) are merged before summarizing",
+    )
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="BENCH_*.json trajectory analytics: compare entries for "
+        "regressions, render trend tables, migrate old schemas",
+    )
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
+    bench_common = argparse.ArgumentParser(add_help=False)
+    bench_common.add_argument(
+        "names",
+        nargs="*",
+        help="bench names (e.g. 'sharding kernels'); default: every "
+        "BENCH_*.json under --root",
+    )
+    bench_common.add_argument(
+        "--root",
+        default=".",
+        help="directory holding the BENCH_*.json trajectories "
+        "(default: current directory)",
+    )
+    bench_cmp_p = bench_sub.add_parser(
+        "compare",
+        parents=[bench_common],
+        help="diff each trajectory's latest entry against its baseline "
+        "(headline seconds + telemetry digests + per-bench gates); "
+        "exits non-zero when anything regresses",
+    )
+    bench_cmp_p.add_argument(
+        "--against",
+        default="last",
+        help="baseline entry: 'last' (most recent comparable entry, "
+        "default), an entry index (negative allowed), or a timestamp "
+        "prefix",
+    )
+    bench_cmp_p.add_argument(
+        "--fail-on-regress",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="regression threshold percent for headline seconds "
+        "(default 20; the absolute noise floor of 0.1s still applies)",
+    )
+    bench_sub.add_parser(
+        "report",
+        parents=[bench_common],
+        help="render ASCII trend tables per trajectory (seconds per "
+        "row identity across entries, latest telemetry digest bars)",
+    )
+    bench_sub.add_parser(
+        "migrate",
+        parents=[bench_common],
+        help="normalize trajectories in place (backfill machine/cpus "
+        "fields, canonicalize telemetry digests); idempotent",
+    )
 
     broker_p = sub.add_parser(
         "broker",
@@ -929,17 +993,68 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from .telemetry import render_trace
+    from .telemetry import load_traces, render_trace
 
     try:
-        print(render_trace(args.path))
+        records = load_traces(args.path)
     except OSError as exc:
-        print(f"cannot read trace {args.path}: {exc}", file=sys.stderr)
+        print(f"cannot read trace: {exc}", file=sys.stderr)
         return 1
     except ValueError as exc:
-        print(f"malformed trace {args.path}: {exc}", file=sys.stderr)
+        # load_jsonl's line-numbered parse error, or an empty file.
+        print(f"malformed trace: {exc}", file=sys.stderr)
         return 1
+    print(render_trace(records))
     return 0
+
+
+def _bench_paths(args: argparse.Namespace) -> list:
+    """Resolve the bench subcommands' trajectory paths (raises SystemExit)."""
+    from pathlib import Path
+
+    from .telemetry import discover_benches
+
+    if args.names:
+        paths = [Path(args.root) / f"BENCH_{name}.json" for name in args.names]
+        missing = [str(p) for p in paths if not p.exists()]
+        if missing:
+            raise SystemExit(f"no such trajectory: {', '.join(missing)}")
+        return paths
+    paths = discover_benches(args.root)
+    if not paths:
+        raise SystemExit(f"no BENCH_*.json trajectories under {args.root!r}")
+    return paths
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .telemetry import compare_all, migrate_file, render_report, render_trends
+    from .telemetry.compare import Thresholds, load_benches
+
+    paths = _bench_paths(args)
+    if args.bench_command == "migrate":
+        total = 0
+        for path in paths:
+            changed = migrate_file(path)
+            total += changed
+            state = f"{changed} entr{'y' if changed == 1 else 'ies'} migrated"
+            print(f"{path}: {state if changed else 'already normal'}")
+        print(f"migrated {total} entr{'y' if total == 1 else 'ies'} total")
+        return 0
+    if args.bench_command == "report":
+        print(render_trends(load_benches(paths)))
+        return 0
+    # compare
+    thresholds = Thresholds()
+    if args.fail_on_regress is not None:
+        thresholds = Thresholds(
+            regress_pct=float(args.fail_on_regress),
+            digest_regress_pct=max(
+                float(args.fail_on_regress), Thresholds().digest_regress_pct
+            ),
+        )
+    report = compare_all(paths, against=args.against, thresholds=thresholds)
+    print(render_report(report))
+    return 0 if report.ok else 1
 
 
 def _print_cache_stats() -> None:
@@ -1103,6 +1218,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_status(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "broker":
         return _cmd_broker(args)
     if args.command == "worker":

@@ -45,6 +45,7 @@ from .client import (
 from .wire import (
     WIRE_VERSION,
     WireDecodeError,
+    attach_trace,
     canonical_bytes,
     decode_result,
     decode_task,
@@ -73,6 +74,7 @@ __all__ = [
     "run_worker",
     "WIRE_VERSION",
     "WireDecodeError",
+    "attach_trace",
     "canonical_bytes",
     "decode_result",
     "decode_task",

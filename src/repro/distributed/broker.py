@@ -43,8 +43,8 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
-from ..telemetry import get_telemetry, summarize_values
-from .wire import read_frame, result_envelope_error, write_frame
+from ..telemetry import get_telemetry, span_id_from, summarize_values
+from .wire import attach_trace, read_frame, result_envelope_error, write_frame
 
 __all__ = ["ShardLedger", "ShardRecord", "QueueMetrics", "Broker"]
 
@@ -469,6 +469,8 @@ class Broker:
         self._sweeper: asyncio.Task | None = None
         self._events: dict[str, asyncio.Event] = {}
         self._finished_at: dict[str, float] = {}
+        self._job_traces: dict[str, dict] = {}
+        self._job_started: dict[str, float] = {}
         self._handlers: set[asyncio.Task] = set()
         self._connections = 0
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -588,6 +590,30 @@ class Broker:
         self.shutdown()
 
     # -- protocol -------------------------------------------------------
+    def _job_span_id(self, job_id: str) -> str:
+        """The deterministic span id of a traced job's ``broker.job`` span."""
+        trace = self._job_traces.get(job_id, {})
+        return span_id_from("broker.job", trace.get("id"), job_id)
+
+    def _finish_job_span(self, job_id: str, state: str) -> None:
+        """Close a traced job's ``broker.job`` span (idempotent via pop)."""
+        started = self._job_started.pop(job_id, None)
+        trace = self._job_traces.get(job_id)
+        if trace is None:
+            return
+        tel = get_telemetry()
+        if tel.enabled:
+            wall = None if started is None else time.monotonic() - started
+            tel.span_finished(
+                "broker.job",
+                self._job_span_id(job_id),
+                parent_id=trace.get("parent"),
+                trace_id=trace.get("id"),
+                wall_s=wall,
+                job=job_id,
+                state=state,
+            )
+
     def _notify(self, job_id: str | None) -> None:
         """Wake the job's waiter if the job just reached a final state."""
         if job_id is None:
@@ -597,13 +623,20 @@ class Broker:
             return
         state, _ = self.ledger.job_state(job_id)
         if state in ("done", "failed"):
+            first = job_id not in self._finished_at
             event.set()
             self._finished_at.setdefault(job_id, time.monotonic())
+            if first:
+                self._finish_job_span(job_id, state)
 
     def _drop_job(self, job_id: str) -> None:
+        if job_id in self._job_started:
+            self._finish_job_span(job_id, "dropped")
         self.ledger.drop_job(job_id)
         self._events.pop(job_id, None)
         self._finished_at.pop(job_id, None)
+        self._job_traces.pop(job_id, None)
+        self._job_started.pop(job_id, None)
 
     async def _sweep_loop(self) -> None:
         tel = get_telemetry()
@@ -684,15 +717,19 @@ class Broker:
                             )
                             if wait is not None:
                                 tel.observe("broker.wait.seconds", wait)
-                        await write_frame(
-                            writer,
-                            {
-                                "type": "task",
-                                "shard_id": record.shard_id,
-                                "task": record.payload,
-                                "lease_timeout": self.ledger.lease_timeout,
-                            },
+                        reply = {
+                            "type": "task",
+                            "shard_id": record.shard_id,
+                            "task": record.payload,
+                            "lease_timeout": self.ledger.lease_timeout,
+                        }
+                        # Relay the job's trace context (if its submit
+                        # carried one) so the worker's spans stitch
+                        # under the client's tree.
+                        attach_trace(
+                            reply, self._job_traces.get(record.job_id)
                         )
+                        await write_frame(writer, reply)
                 elif kind == "heartbeat":
                     self.metrics.on_heartbeat()
                     self.ledger.renew(
@@ -775,6 +812,22 @@ class Broker:
                     self.metrics.on_submit(
                         self.ledger.job_shards(job_id), time.monotonic()
                     )
+                    trace = message.get("trace")
+                    if isinstance(trace, dict) and trace.get("id"):
+                        self._job_traces[job_id] = {
+                            "id": str(trace["id"]),
+                            "parent": trace.get("parent"),
+                        }
+                        self._job_started[job_id] = time.monotonic()
+                        if tel.enabled:
+                            tel.span_started(
+                                "broker.job",
+                                self._job_span_id(job_id),
+                                parent_id=trace.get("parent"),
+                                trace_id=str(trace["id"]),
+                                job=job_id,
+                                shards=len(message["tasks"]),
+                            )
                     if tel.enabled:
                         tel.event(
                             "broker.submit",

@@ -52,6 +52,7 @@ from ..telemetry import get_telemetry
 from .cache import resolve_cache
 from .wire import (
     WireDecodeError,
+    attach_trace,
     decode_result,
     encode_task,
     parse_endpoint,
@@ -245,16 +246,19 @@ def execute_shards_remote(
         job_id = uuid.uuid4().hex
         sock = _open_socket(endpoint, connect_timeout, timeout)
         with sock:
-            reply = _exchange(
-                sock,
-                {
-                    "type": "submit",
-                    "job_id": job_id,
-                    "tasks": [
-                        {"index": i, "task": encoded[i]} for i in pending
-                    ],
-                },
-            )
+            submit = {
+                "type": "submit",
+                "job_id": job_id,
+                "tasks": [
+                    {"index": i, "task": encoded[i]} for i in pending
+                ],
+            }
+            # The optional trace-context wire key: present only when the
+            # client itself is tracing, so untraced submissions stay
+            # byte-identical to the pre-trace format.
+            if tel.enabled:
+                attach_trace(submit, tel.current_context())
+            reply = _exchange(sock, submit)
             if reply.get("type") != "accepted":
                 raise DistributedError(
                     f"broker rejected job: {reply.get('error', reply)}"

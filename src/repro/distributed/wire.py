@@ -62,6 +62,7 @@ __all__ = [
     "WIRE_VERSION",
     "MAX_FRAME_BYTES",
     "WireDecodeError",
+    "attach_trace",
     "encode_task",
     "decode_task",
     "encode_result",
@@ -546,6 +547,24 @@ def encode_task(task: ShardTask) -> dict:
     if task.backend is not None:
         obj["backend"] = str(task.backend)
     return obj
+
+
+def attach_trace(frame: dict, context) -> dict:
+    """Attach the optional ``trace`` key to an outbound frame in place.
+
+    ``context`` is a :class:`~repro.telemetry.TraceContext` (or an
+    already-encoded wire dict, as the broker relays on lease replies);
+    ``None`` leaves the frame untouched, so the default encoding stays
+    byte-identical to the pre-trace format — same contract as the
+    optional ``backend`` hint in :func:`encode_task`, and the reason
+    :data:`WIRE_VERSION` stays put.  Returns the frame for chaining.
+    """
+    if context is None:
+        return frame
+    wire = context.to_wire() if hasattr(context, "to_wire") else dict(context)
+    if wire:
+        frame["trace"] = wire
+    return frame
 
 
 def _check_version(obj: dict, kind: str) -> None:

@@ -46,8 +46,15 @@ from ..resilience.faults import (
     install_fault_plan,
 )
 from ..resilience.retry import RetryError
-from ..telemetry import get_telemetry
-from .wire import decode_task, encode_result, parse_endpoint, recv_frame, send_frame
+from ..telemetry import TraceContext, get_telemetry
+from .wire import (
+    attach_trace,
+    decode_task,
+    encode_result,
+    parse_endpoint,
+    recv_frame,
+    send_frame,
+)
 
 __all__ = ["run_worker"]
 
@@ -211,6 +218,7 @@ def run_worker(
                     tel.count("faults.injected")
                     os._exit(17)
                 shard_id = message["shard_id"]
+                trace = TraceContext.from_wire(message.get("trace"))
                 interval = max(
                     0.05, float(message.get("lease_timeout", 30.0)) / 3.0
                 )
@@ -225,7 +233,15 @@ def run_worker(
                 if tel.enabled:
                     tel.event("worker.lease", shard=shard_id)
                 try:
-                    result = run_shard(decode_task(message["task"]))
+                    # Install the job's trace context (when the lease
+                    # carried one) so the shard.run span stitches under
+                    # the client's tree; restored immediately after.
+                    prev_ctx = tel.install_context(trace) if trace else None
+                    try:
+                        result = run_shard(decode_task(message["task"]))
+                    finally:
+                        if trace is not None:
+                            tel.install_context(prev_ctx)
                 except Exception as exc:
                     stop.set()
                     heartbeat.join()
@@ -269,6 +285,7 @@ def run_worker(
                     }
                     if stats:
                         frame["stats"] = stats
+                    attach_trace(frame, trace)
                     send_frame(sock, frame, site="worker.send")
                 if recv_frame(sock) is None:
                     break

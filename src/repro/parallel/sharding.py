@@ -45,7 +45,13 @@ import numpy as np
 
 from ..graphs.graph import Graph, SharedGraph
 from ..stats.rng import seed_sequence_from, spawn_seeds
-from ..telemetry import get_telemetry, seed_id_parts, summarize_values
+from ..telemetry import (
+    TraceContext,
+    get_telemetry,
+    seed_id_parts,
+    span_id_from,
+    summarize_values,
+)
 from .batch import plan_batches_for
 from .pool import default_workers
 
@@ -532,7 +538,25 @@ def run_sharded(
         if tel.enabled
         else None
     )
-    with span if span is not None else contextlib.nullcontext():
+    # Install a trace context for the span's duration: its trace id is a
+    # pure function of the master seed (same derivation machinery as the
+    # span ids), and its parent is this span — so spans opened in
+    # processes with no local stack (remote workers via the wire's
+    # optional trace key, the broker's job span) stitch under this tree.
+    scope = contextlib.ExitStack()
+    if span is not None:
+        ctx = tel.current_context()
+        trace_id = (
+            ctx.trace_id
+            if ctx is not None
+            else span_id_from("trace", *seed_id_parts(master))
+        )
+        prev_ctx = tel.install_context(
+            TraceContext(trace_id=trace_id, parent_span_id=span.span_id)
+        )
+        scope.callback(tel.install_context, prev_ctx)
+        scope.enter_context(span)
+    with scope:
         checkpoint_path = None
         if endpoint is None:
             from ..resilience import resolve_checkpoint

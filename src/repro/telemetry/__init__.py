@@ -21,11 +21,30 @@ Or from the CLI/environment: every execution command accepts
 ``REPRO_TELEMETRY_SAMPLE``.
 """
 
+from .baseline import (
+    Bench,
+    BenchEntry,
+    canonical_digest,
+    discover_benches,
+    load_bench,
+    migrate_file,
+)
+from .compare import (
+    Finding,
+    RegressionReport,
+    Thresholds,
+    compare_all,
+    compare_bench,
+    evaluate_gates,
+    render_report,
+    render_trends,
+)
 from .core import (
     TELEMETRY_ENV_VAR,
     TELEMETRY_SAMPLE_ENV_VAR,
     Span,
     Telemetry,
+    TraceContext,
     configure,
     configure_from_env,
     get_telemetry,
@@ -37,7 +56,10 @@ from .sinks import NULL_SINK, JsonlSink, MemorySink, NullSink, load_jsonl
 from .summarize import (
     SpanNode,
     TraceSummary,
+    fill_bar,
+    histogram_bar,
     load_trace,
+    load_traces,
     render_trace,
     summarize_trace,
 )
@@ -46,6 +68,7 @@ __all__ = [
     # core
     "Telemetry",
     "Span",
+    "TraceContext",
     "configure",
     "configure_from_env",
     "get_telemetry",
@@ -64,6 +87,24 @@ __all__ = [
     "SpanNode",
     "TraceSummary",
     "load_trace",
+    "load_traces",
     "summarize_trace",
     "render_trace",
+    "histogram_bar",
+    "fill_bar",
+    # baseline / compare (BENCH regression analytics)
+    "Bench",
+    "BenchEntry",
+    "canonical_digest",
+    "discover_benches",
+    "load_bench",
+    "migrate_file",
+    "Thresholds",
+    "Finding",
+    "RegressionReport",
+    "compare_bench",
+    "compare_all",
+    "evaluate_gates",
+    "render_report",
+    "render_trends",
 ]

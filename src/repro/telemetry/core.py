@@ -31,6 +31,7 @@ per-round sampling stride (default 1: every round).
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import math
@@ -43,6 +44,7 @@ from .sinks import NULL_SINK, JsonlSink
 __all__ = [
     "Telemetry",
     "Span",
+    "TraceContext",
     "span_id_from",
     "seed_id_parts",
     "get_telemetry",
@@ -103,6 +105,45 @@ def seed_id_parts(seed) -> list:
     elif entropy is not None:
         entropy = int(entropy)
     return [entropy, [int(k) for k in spawn_key]]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceContext:
+    """The cross-process half of a trace: trace id + parent span id.
+
+    A client installs one around ``run_sharded`` (trace id derived
+    deterministically from the master seed via :func:`span_id_from` /
+    :func:`seed_id_parts`); it rides submit/lease/complete frames as an
+    optional ``trace`` wire key (see
+    :func:`repro.distributed.wire.attach_trace` — byte-identical frames
+    when absent), and the broker and workers install it so their spans
+    parent under the client's span tree.
+    """
+
+    #: Deterministic id shared by every record of one stitched trace.
+    trace_id: str
+    #: Span id remote spans should parent under (None at the root).
+    parent_span_id: str | None = None
+
+    def to_wire(self) -> dict:
+        """The JSON-able wire form (the optional ``trace`` frame key)."""
+        wire = {"id": self.trace_id}
+        if self.parent_span_id is not None:
+            wire["parent"] = self.parent_span_id
+        return wire
+
+    @staticmethod
+    def from_wire(obj) -> "TraceContext | None":
+        """Decode a wire dict (None / malformed input gives None)."""
+        if not isinstance(obj, dict):
+            return None
+        trace_id = obj.get("id")
+        if not isinstance(trace_id, str) or not trace_id:
+            return None
+        parent = obj.get("parent")
+        if parent is not None and not isinstance(parent, str):
+            parent = None
+        return TraceContext(trace_id=trace_id, parent_span_id=parent)
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -202,6 +243,7 @@ class Telemetry:
         self._local = threading.local()
         self._lock = threading.Lock()
         self._anon_spans = 0
+        self._context: TraceContext | None = None
 
     # -- state ----------------------------------------------------------
     @property
@@ -224,6 +266,39 @@ class Telemetry:
         stack = self._stack()
         return stack[-1].span_id if stack else None
 
+    def install_context(self, context: TraceContext | None) -> TraceContext | None:
+        """Install (or clear) the process trace context; returns the prior one.
+
+        Restore the returned value in a ``finally`` block.  While a
+        context is installed every record carries its trace id, and
+        spans opened with no local parent fall back to
+        ``context.parent_span_id`` — this is how a remote worker's
+        ``shard.run`` span stitches under the client's tree.
+        """
+        previous = self._context
+        self._context = context
+        return previous
+
+    def current_context(self) -> TraceContext | None:
+        """The context a cross-process hop should carry right now.
+
+        With a context installed, the trace id is preserved and the
+        parent advanced to the innermost open span; with only local
+        spans open, a fresh context rooted at the outermost span is
+        derived; with neither, None (nothing to propagate).
+        """
+        parent = self.current_span_id()
+        context = self._context
+        if context is not None:
+            return TraceContext(
+                trace_id=context.trace_id,
+                parent_span_id=parent or context.parent_span_id,
+            )
+        stack = self._stack()
+        if stack:
+            return TraceContext(trace_id=stack[0].span_id, parent_span_id=parent)
+        return None
+
     def _enter_span(self, span: Span) -> None:
         self._stack().append(span)
 
@@ -237,6 +312,8 @@ class Telemetry:
         if not self.enabled:
             return
         record = {"kind": kind, "name": name, "ts": time.time(), "pid": os.getpid()}
+        if self._context is not None:
+            record["trace"] = self._context.trace_id
         record.update(extra)
         self.sink.write(record)
 
@@ -249,6 +326,8 @@ class Telemetry:
         process, which is all an unseeded caller can promise).
         """
         parent = self.current_span_id()
+        if parent is None and self._context is not None:
+            parent = self._context.parent_span_id
         if id_parts is not None:
             sid = span_id_from(name, *id_parts)
         else:
@@ -256,6 +335,47 @@ class Telemetry:
                 self._anon_spans += 1
                 sid = span_id_from(name, parent, self._anon_spans)
         return Span(self, name, sid, parent, dict(fields))
+
+    def span_started(
+        self, name: str, span_id: str, parent_id=None, trace_id=None, **fields
+    ) -> None:
+        """Emit a ``span-start`` record with explicit identity.
+
+        For lifecycles that outlive any one call frame (the broker's
+        per-job span opens on submit and closes on the terminal state
+        transition), where the context-manager :meth:`span` cannot be
+        used.  Pair with :meth:`span_finished` on the same ids.
+        ``trace_id`` stamps the record for emitters that know the trace
+        they belong to without installing a process context (the broker
+        serves many concurrent traces from one thread).
+        """
+        extra = {"span": span_id, "parent": parent_id, "fields": dict(fields)}
+        if trace_id is not None:
+            extra["trace"] = trace_id
+        self._record("span-start", name, **extra)
+
+    def span_finished(
+        self,
+        name: str,
+        span_id: str,
+        parent_id=None,
+        trace_id=None,
+        *,
+        wall_s: float | None = None,
+        cpu_s: float | None = None,
+        **fields,
+    ) -> None:
+        """Emit the matching ``span-end`` record for :meth:`span_started`."""
+        extra = {
+            "span": span_id,
+            "parent": parent_id,
+            "wall_s": wall_s,
+            "cpu_s": cpu_s,
+            "fields": dict(fields),
+        }
+        if trace_id is not None:
+            extra["trace"] = trace_id
+        self._record("span-end", name, **extra)
 
     def event(self, name: str, **fields) -> None:
         """Emit one point-in-time record under the current span."""

@@ -1,18 +1,25 @@
-"""Trace analysis: turn a JSONL telemetry stream into a text report.
+"""Trace analysis: turn JSONL telemetry streams into a text report.
 
 The consumer side of :mod:`repro.telemetry`: ``repro trace summarize
-PATH`` loads the records a run emitted (engine spans, shard spans,
+PATH...`` loads the records a run emitted (engine spans, shard spans,
 per-round points, histograms, lifecycle counters — possibly from
-several processes appending to one file) and renders
+several processes and several per-host files) and renders
 
 * the **span tree** — every span with wall/CPU durations and its
   end-of-span fields, children indented under parents (deterministic
-  span ids are what stitch worker-process spans under the
-  dispatching run's span);
+  span ids plus the cross-process trace context are what stitch
+  worker- and broker-process spans under the dispatching run's span);
+* the **per-hop breakdown** — spans grouped by name (client engine,
+  broker job, worker shards) with process counts and wall totals,
+  next to the broker's queue wait/exec histograms;
 * the **counters** — summed per name across processes;
 * the **histograms** — count/mean/p50/p90/p99/max per name plus a
   coarse ASCII distribution, which is where per-round timing skew
   ("hot rounds") becomes visible at a glance.
+
+Spans whose parent never appears in the stream (a worker file
+summarized without its client's file, say) are *orphans*: they are
+kept as extra roots and reported explicitly, never dropped.
 
 Everything here is pure post-processing over the record dicts; it
 never imports the engine, so traces can be summarised on machines
@@ -30,8 +37,11 @@ __all__ = [
     "SpanNode",
     "TraceSummary",
     "load_trace",
+    "load_traces",
     "summarize_trace",
     "render_trace",
+    "histogram_bar",
+    "fill_bar",
 ]
 
 
@@ -53,7 +63,13 @@ class SpanNode:
 
 @dataclass
 class TraceSummary:
-    """A digested trace: span roots plus aggregated metrics."""
+    """A digested trace: span roots plus aggregated metrics.
+
+    ``orphans`` lists spans whose recorded parent id never appeared in
+    the stream — they are *also* present in ``roots`` (reported, not
+    dropped).  ``hops`` groups spans by name: span count, distinct
+    pids, and total/mean wall seconds per hop.
+    """
 
     records: int
     pids: list[int]
@@ -61,11 +77,34 @@ class TraceSummary:
     counters: dict[str, float]
     histograms: dict[str, dict]
     points: dict[str, int]
+    orphans: list[SpanNode] = field(default_factory=list)
+    hops: dict[str, dict] = field(default_factory=dict)
 
 
 def load_trace(path) -> list[dict]:
     """Read a JSONL trace file into a record list (validating as it goes)."""
     return list(load_jsonl(path))
+
+
+def load_traces(paths) -> list[dict]:
+    """Concatenate several JSONL trace files into one record list.
+
+    The multi-host entry point: each process (client, broker, workers
+    on other machines) appends to its own file, and summarizing their
+    concatenation stitches one tree via the shared deterministic span
+    ids.  A missing file raises ``OSError``, a corrupt line the
+    line-numbered ``ValueError`` from
+    :func:`~repro.telemetry.sinks.load_jsonl`, and an *empty* file an
+    explicit ``ValueError`` naming it — an empty trace is always an
+    operator error (wrong path, tracing never enabled), never a report.
+    """
+    records: list[dict] = []
+    for path in paths:
+        loaded = load_trace(path)
+        if not loaded:
+            raise ValueError(f"{path}: trace file is empty (no records)")
+        records.extend(loaded)
+    return records
 
 
 def summarize_trace(records) -> TraceSummary:
@@ -98,6 +137,8 @@ def summarize_trace(records) -> TraceSummary:
         elif kind == "span-end":
             span = node(str(record["span"]))
             span.name = name
+            if span.pid is None:
+                span.pid = pid
             if span.parent_id is None:
                 span.parent_id = record.get("parent")
             span.wall_s = record.get("wall_s")
@@ -114,16 +155,47 @@ def summarize_trace(records) -> TraceSummary:
             histograms.setdefault(name, []).append(float(record.get("value", 0)))
 
     roots: list[SpanNode] = []
+    orphans: list[SpanNode] = []
     for span in spans.values():
         parent = spans.get(span.parent_id) if span.parent_id else None
         if parent is None or parent is span:
             roots.append(span)
+            if span.parent_id and parent is not span:
+                # The parent id is known but its span never appeared in
+                # the stream (partial multi-host collection): keep the
+                # subtree as a root and flag it, never drop it.
+                orphans.append(span)
         else:
             parent.children.append(span)
     ordering = {id(s): i for i, s in enumerate(spans.values())}
     for span in spans.values():
         span.children.sort(key=lambda s: (s.started or 0.0, ordering[id(s)]))
     roots.sort(key=lambda s: (s.started or 0.0, ordering[id(s)]))
+
+    hops: dict[str, dict] = {}
+    for span in spans.values():
+        hop = hops.setdefault(
+            span.name, {"spans": 0, "pids": set(), "wall": [], "orphans": 0}
+        )
+        hop["spans"] += 1
+        if span.pid is not None:
+            hop["pids"].add(int(span.pid))
+        if span.wall_s is not None:
+            hop["wall"].append(float(span.wall_s))
+    for span in orphans:
+        hops[span.name]["orphans"] += 1
+    hop_summary = {
+        name: {
+            "spans": hop["spans"],
+            "pids": len(hop["pids"]),
+            "orphans": hop["orphans"],
+            "wall_total_s": sum(hop["wall"]) if hop["wall"] else None,
+            "wall_mean_s": (
+                sum(hop["wall"]) / len(hop["wall"]) if hop["wall"] else None
+            ),
+        }
+        for name, hop in sorted(hops.items())
+    }
 
     return TraceSummary(
         records=len(records),
@@ -135,6 +207,8 @@ def summarize_trace(records) -> TraceSummary:
             for name, values in histograms.items()
         },
         points=points,
+        orphans=orphans,
+        hops=hop_summary,
     )
 
 
@@ -174,8 +248,13 @@ def _render_span(span: SpanNode, depth: int, lines: list[str]) -> None:
         _render_span(child, depth + 1, lines)
 
 
-def _histogram_bar(summary: dict, width: int = 24) -> str:
-    """A crude density bar: where the mass sits between min and max."""
+def histogram_bar(summary: dict, width: int = 24) -> str:
+    """A crude density bar: where the mass sits between min and max.
+
+    ``5``/``9``/``+`` mark p50/p90/p99 between the distribution's min
+    and max.  Shared with the BENCH trend report
+    (:func:`repro.telemetry.compare.render_trends`).
+    """
     lo, hi = summary["min"], summary["max"]
     if hi <= lo:
         return "#" * width
@@ -187,6 +266,18 @@ def _histogram_bar(summary: dict, width: int = 24) -> str:
     for pos, glyph in zip(marks, "59+"):
         bar[pos] = glyph
     return "".join(bar)
+
+
+def fill_bar(value: float, max_value: float, width: int = 24) -> str:
+    """A proportional fill bar: ``value`` as a fraction of ``max_value``.
+
+    The magnitude sibling of :func:`histogram_bar`, used by the BENCH
+    trend tables to compare successive entries' headline seconds.
+    """
+    if max_value <= 0 or value is None or value <= 0:
+        return ""
+    frac = min(1.0, float(value) / float(max_value))
+    return "#" * max(1, int(round(frac * width)))
 
 
 def render_trace(records) -> str:
@@ -206,6 +297,42 @@ def render_trace(records) -> str:
             _render_span(root, 1, lines)
     else:
         lines.append("  (none)")
+
+    if summary.orphans:
+        lines.append("")
+        lines.append(
+            f"orphan spans ({len(summary.orphans)} whose parent never "
+            "appeared in the stream — summarized as extra roots):"
+        )
+        for span in summary.orphans:
+            lines.append(
+                f"  - {span.name} (span={span.span_id} "
+                f"parent={span.parent_id} pid={span.pid})"
+            )
+
+    if summary.hops:
+        lines.append("")
+        lines.append("per-hop breakdown:")
+        for name, hop in summary.hops.items():
+            wall = (
+                f"wall total={_format_seconds(hop['wall_total_s'])} "
+                f"mean={_format_seconds(hop['wall_mean_s'])}"
+                if hop["wall_total_s"] is not None
+                else "wall=?"
+            )
+            lines.append(
+                f"  {name:28} spans={hop['spans']:<4} "
+                f"pids={hop['pids']:<3} {wall}"
+            )
+        for label, key in (("queue wait", "broker.wait.seconds"),
+                           ("queue exec", "broker.exec.seconds")):
+            stats = summary.histograms.get(key)
+            if stats:
+                lines.append(
+                    f"  {label:28} n={stats['count']:<4} "
+                    f"p50={stats['p50']:.4g} p90={stats['p90']:.4g} "
+                    f"p99={stats['p99']:.4g}"
+                )
 
     if summary.points:
         lines.append("")
@@ -234,6 +361,6 @@ def render_trace(records) -> str:
                 f"p90={stats['p90']:.4g} p99={stats['p99']:.4g} "
                 f"max={stats['max']:.4g}"
             )
-            lines.append(f"  {'':28} [{_histogram_bar(stats)}]")
+            lines.append(f"  {'':28} [{histogram_bar(stats)}]")
 
     return "\n".join(lines)

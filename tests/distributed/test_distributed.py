@@ -439,3 +439,92 @@ class TestCacheIntegration:
             finally:
                 _reap(procs)
         assert len(cache) == 2 * before
+
+
+class TestTraceStitching:
+    """Traced ``run_distributed`` produces one stitched span tree.
+
+    The telemetry sink is configured *before* the workers fork, so the
+    client, the broker thread, and both worker processes append to the
+    same JSONL file; ``summarize_trace`` must then reconstruct a single
+    rooted tree — client span at the root, the broker's job span and
+    the workers' shard spans stitched beneath it via the wire's
+    optional trace key.
+    """
+
+    def test_traced_run_stitches_one_tree_across_processes(self, tmp_path):
+        from repro.telemetry import JsonlSink, configure, load_traces, summarize_trace
+
+        graph = _graph()
+        rule = CobraRule(make_policy(2))
+        engine = SpreadEngine(rule, graph)
+        state = _initial_state(rule, graph.n)
+        path = tmp_path / "stitch.jsonl"
+        configure(JsonlSink(path), sample_every=1)
+        procs = []
+        try:
+            with Broker(lease_timeout=15.0) as broker:
+                # Forked after configure: the workers inherit the sink
+                # (lazily opened, so each process appends its own lines).
+                procs = _spawn_workers(broker.address, 2)
+                engine.run_distributed(
+                    state, 123, endpoint=broker.address,
+                    max_shard=MAX_SHARD, cache=None,
+                )
+        finally:
+            _reap(procs)
+            configure(None)
+
+        summary = summarize_trace(load_traces([path]))
+        # One trace across client + broker thread + 2 worker processes.
+        assert not summary.orphans, [s.span_id for s in summary.orphans]
+        assert len(summary.roots) == 1
+        root = summary.roots[0]
+        assert root.name == "engine.run_sharded"
+
+        def walk(span):
+            yield span
+            for child in span.children:
+                for got in walk(child):
+                    yield got
+
+        tree = list(walk(root))
+        names = {s.name for s in tree}
+        assert "broker.job" in names
+        assert "shard.run" in names
+        # The workers' spans really came from other processes.
+        span_pids = {s.pid for s in tree if s.pid is not None}
+        worker_pids = {
+            s.pid for s in tree if s.name == "shard.run" and s.pid is not None
+        }
+        assert worker_pids and worker_pids.isdisjoint({root.pid})
+        assert len(span_pids) >= 2
+        # Every span record of the run carries the one trace id
+        # (housekeeping counters/events may be trace-less).
+        traces = {
+            r.get("trace")
+            for r in load_traces([path])
+            if r["kind"] in ("span-start", "span-end")
+        }
+        assert len(traces) == 1 and None not in traces
+
+    def test_untraced_run_emits_nothing(self, tmp_path):
+        from repro.telemetry import configure
+
+        graph = _graph()
+        rule = CobraRule(make_policy(2))
+        engine = SpreadEngine(rule, graph)
+        state = _initial_state(rule, graph.n)
+        path = tmp_path / "off.jsonl"
+        configure(None)
+        procs = []
+        with Broker(lease_timeout=15.0) as broker:
+            procs = _spawn_workers(broker.address, 2)
+            try:
+                engine.run_distributed(
+                    state, 123, endpoint=broker.address,
+                    max_shard=MAX_SHARD, cache=None,
+                )
+            finally:
+                _reap(procs)
+        assert not path.exists()

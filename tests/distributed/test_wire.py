@@ -14,6 +14,7 @@ from hypothesis import strategies as st
 from repro.core.branching import BernoulliBranching, FixedBranching, make_policy
 from repro.distributed import (
     WIRE_VERSION,
+    attach_trace,
     canonical_bytes,
     decode_result,
     decode_task,
@@ -328,6 +329,50 @@ class TestTasks:
         assert "backend" not in encoded
         assert decode_task(encoded).backend is None
         assert encoded["v"] == WIRE_VERSION
+
+
+class TestAttachTrace:
+    """The optional trace-context frame key (cross-host stitching)."""
+
+    def test_no_context_is_byte_identical(self):
+        """Untraced frames encode exactly as before the key existed:
+        same bytes on the wire, no version bump."""
+        import json
+
+        frame = {"type": "submit", "job_id": "j1", "tasks": []}
+        reference = json.dumps(frame, sort_keys=True)
+        out = attach_trace(frame, None)
+        assert out is frame
+        assert json.dumps(frame, sort_keys=True) == reference
+        assert "trace" not in frame
+        assert WIRE_VERSION == 1
+
+    def test_context_attaches_wire_dict(self):
+        from repro.telemetry import TraceContext
+
+        frame = {"type": "submit"}
+        attach_trace(frame, TraceContext(trace_id="T", parent_span_id="P"))
+        assert frame["trace"] == {"id": "T", "parent": "P"}
+
+    def test_plain_dict_relays_unchanged(self):
+        # The broker relays the stored wire dict without re-decoding.
+        frame = {"type": "lease-reply"}
+        attach_trace(frame, {"id": "T", "parent": "P"})
+        assert frame["trace"] == {"id": "T", "parent": "P"}
+
+    def test_attached_frame_round_trips_to_context(self):
+        from repro.telemetry import TraceContext
+
+        frame = {}
+        attach_trace(frame, TraceContext(trace_id="T", parent_span_id=None))
+        assert TraceContext.from_wire(frame.get("trace")) == TraceContext(
+            trace_id="T", parent_span_id=None
+        )
+
+    def test_empty_dict_attaches_nothing(self):
+        frame = {}
+        attach_trace(frame, {})
+        assert "trace" not in frame
 
     def test_backend_hint_changes_task_key(self):
         """A bitplane result is only distribution-equivalent: it must

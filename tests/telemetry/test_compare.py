@@ -1,0 +1,446 @@
+"""BENCH regression analytics: pairing, thresholds, gates, CLI exits.
+
+Synthetic trajectories are written to tmp dirs with controlled deltas
+(values far above the 0.1s noise floor, so the thresholds — not
+jitter — decide the outcome); the committed repo trajectories must
+pass the comparator clean.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.telemetry import (
+    Thresholds,
+    canonical_digest,
+    compare_all,
+    compare_bench,
+    discover_benches,
+    evaluate_gates,
+    load_bench,
+    migrate_file,
+    render_report,
+    render_trends,
+)
+from repro.telemetry.baseline import normalize_entry, row_key
+from repro.telemetry.compare import (
+    KERNEL_SPEEDUP_FLOOR,
+    RESILIENCE_OVERHEAD_MAX,
+    SHARDING_SPEEDUP_FLOOR,
+    load_benches,
+    resolve_against,
+)
+
+MACHINE = {"cpus": 8, "python": "3.11.7"}
+
+
+def _entry(timestamp, rows, *, telemetry=None, machine=None, meta=None):
+    entry = {
+        "timestamp": timestamp,
+        "machine": dict(machine or MACHINE),
+        "meta": meta or {},
+        "rows": rows,
+    }
+    if telemetry is not None:
+        entry["telemetry"] = telemetry
+    return entry
+
+
+def _write(tmp_path, name, entries):
+    path = tmp_path / f"BENCH_{name}.json"
+    path.write_text(json.dumps({"bench": name, "entries": entries}, indent=2))
+    return path
+
+
+def _row(seconds, **params):
+    row = {"mode": "run", "n": 1024, "runs": 128, "cpus": 8}
+    row.update(params)
+    row["seconds"] = seconds
+    return row
+
+
+class TestCanonicalDigest:
+    def test_key_order_and_rounding_are_stable(self):
+        a = {"b": 0.123456789, "a": {"y": 2, "x": 1}}
+        b = {"a": {"x": 1, "y": 2}, "b": 0.12345678123}
+        assert json.dumps(canonical_digest(a)) == json.dumps(canonical_digest(b))
+
+    def test_floats_rounded_to_six_significant_digits(self):
+        assert canonical_digest({"v": 0.12345678}) == {"v": 0.123457}
+
+    def test_non_finite_floats_become_none(self):
+        out = canonical_digest({"a": float("nan"), "b": float("inf")})
+        assert out == {"a": None, "b": None}
+
+    def test_bools_and_ints_pass_through(self):
+        out = canonical_digest({"flag": True, "count": 7, "none": None})
+        assert out == {"count": 7, "flag": True, "none": None}
+        assert out["flag"] is True
+
+    def test_lists_recurse(self):
+        assert canonical_digest([{"z": 1.0, "a": 2}]) == [{"a": 2, "z": 1.0}]
+
+
+class TestRowKey:
+    def test_measure_columns_excluded(self):
+        a = _row(1.0, workers=4)
+        b = _row(99.0, workers=4)
+        assert row_key(a) == row_key(b)
+
+    def test_parameter_change_changes_key(self):
+        assert row_key(_row(1.0, workers=4)) != row_key(_row(1.0, workers=2))
+
+
+class TestNormalizeAndMigrate:
+    def test_missing_machine_and_row_cpus_backfilled(self):
+        raw = {"timestamp": "t", "rows": [{"mode": "x", "seconds": 1.0}]}
+        entry, changed = normalize_entry(raw)
+        assert changed
+        assert entry["machine"] == {"cpus": None, "python": None}
+        assert entry["meta"] == {}
+        # cpus stays absent when the machine context never recorded it.
+        assert "cpus" not in entry["rows"][0]
+
+    def test_row_cpus_backfilled_from_machine(self):
+        raw = {
+            "timestamp": "t",
+            "machine": {"cpus": 4, "python": "3.11"},
+            "meta": {},
+            "rows": [{"mode": "x", "seconds": 1.0}],
+        }
+        entry, changed = normalize_entry(raw)
+        assert changed
+        assert entry["rows"][0]["cpus"] == 4
+
+    def test_normal_entry_unchanged(self):
+        raw = _entry("t", [_row(1.0, workers=1)])
+        _entry2, changed = normalize_entry(raw)
+        assert not changed
+
+    def test_migrate_file_idempotent(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "x",
+            [{"timestamp": "t", "rows": [{"mode": "a", "seconds": 1.0}]}],
+        )
+        assert migrate_file(path) == 1
+        assert migrate_file(path) == 0
+        payload = json.loads(path.read_text())
+        assert payload["entries"][0]["machine"] == {"cpus": None, "python": None}
+
+    def test_migrate_canonicalizes_telemetry(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "x",
+            [_entry("t", [_row(1.0)], telemetry={"b": 0.123456789, "a": 1})],
+        )
+        assert migrate_file(path) == 1
+        payload = json.loads(path.read_text())
+        assert payload["entries"][0]["telemetry"] == {"a": 1, "b": 0.123457}
+
+
+class TestResolveAgainst:
+    def test_single_entry_is_a_skip(self, tmp_path):
+        bench = load_bench(_write(tmp_path, "x", [_entry("t1", [_row(1.0)])]))
+        assert resolve_against(bench) is None
+
+    def test_last_skips_different_cpu_machines(self, tmp_path):
+        bench = load_bench(_write(tmp_path, "x", [
+            _entry("t1", [_row(1.0)]),
+            _entry("t2", [_row(2.0)], machine={"cpus": 2, "python": "3.11"}),
+            _entry("t3", [_row(1.1)]),
+        ]))
+        before, after = resolve_against(bench, "last")
+        assert before.timestamp == "t1"
+        assert after.timestamp == "t3"
+
+    def test_last_requires_a_shared_row_identity(self, tmp_path):
+        bench = load_bench(_write(tmp_path, "x", [
+            _entry("t1", [_row(1.0, mode="other")]),
+            _entry("t2", [_row(1.0)]),
+        ]))
+        assert resolve_against(bench, "last") is None
+
+    def test_integer_index(self, tmp_path):
+        bench = load_bench(_write(tmp_path, "x", [
+            _entry("t1", [_row(1.0)]),
+            _entry("t2", [_row(2.0)]),
+            _entry("t3", [_row(3.0)]),
+        ]))
+        before, _after = resolve_against(bench, "0")
+        assert before.timestamp == "t1"
+        before, _after = resolve_against(bench, "-1")
+        assert before.timestamp == "t2"
+
+    def test_timestamp_prefix(self, tmp_path):
+        bench = load_bench(_write(tmp_path, "x", [
+            _entry("2026-07-01T00:00:00", [_row(1.0)]),
+            _entry("2026-08-01T00:00:00", [_row(2.0)]),
+            _entry("2026-08-08T00:00:00", [_row(3.0)]),
+        ]))
+        before, _after = resolve_against(bench, "2026-07")
+        assert before.timestamp.startswith("2026-07")
+
+    def test_unmatched_reference_is_a_skip(self, tmp_path):
+        bench = load_bench(_write(tmp_path, "x", [
+            _entry("t1", [_row(1.0)]),
+            _entry("t2", [_row(2.0)]),
+        ]))
+        assert resolve_against(bench, "1999") is None
+        assert resolve_against(bench, "99") is None
+
+
+class TestSecondsRegression:
+    def test_twenty_five_percent_slower_flags(self, tmp_path):
+        bench = load_bench(_write(tmp_path, "x", [
+            _entry("t1", [_row(10.0)]),
+            _entry("t2", [_row(12.5)]),
+        ]))
+        report = compare_bench(bench)
+        assert not report.ok
+        [finding] = report.regressions
+        assert finding.kind == "seconds"
+        assert finding.change_pct == pytest.approx(25.0)
+        assert "REGRESS" in render_report(report)
+
+    def test_noise_floor_suppresses_tiny_absolute_jitter(self, tmp_path):
+        # +100% relative but only +0.01s absolute: under the 0.1s floor.
+        bench = load_bench(_write(tmp_path, "x", [
+            _entry("t1", [_row(0.01)]),
+            _entry("t2", [_row(0.02)]),
+        ]))
+        assert compare_bench(bench).ok
+
+    def test_under_threshold_change_passes(self, tmp_path):
+        bench = load_bench(_write(tmp_path, "x", [
+            _entry("t1", [_row(10.0)]),
+            _entry("t2", [_row(11.0)]),
+        ]))
+        report = compare_bench(bench)
+        assert report.ok and not report.findings
+
+    def test_improvement_reported_not_flagged(self, tmp_path):
+        bench = load_bench(_write(tmp_path, "x", [
+            _entry("t1", [_row(10.0)]),
+            _entry("t2", [_row(5.0)]),
+        ]))
+        report = compare_bench(bench)
+        assert report.ok
+        [finding] = report.findings
+        assert not finding.regressed and "improved" in finding.note
+
+    def test_unpaired_row_is_a_skip_not_an_error(self, tmp_path):
+        bench = load_bench(_write(tmp_path, "x", [
+            _entry("t1", [_row(10.0, workers=1)]),
+            _entry("t2", [_row(10.0, workers=1), _row(3.0, workers=4)]),
+        ]))
+        report = compare_bench(bench)
+        assert report.ok
+        assert any("workers=4" in s for s in report.skipped)
+
+    def test_custom_thresholds(self, tmp_path):
+        bench = load_bench(_write(tmp_path, "x", [
+            _entry("t1", [_row(10.0)]),
+            _entry("t2", [_row(11.0)]),
+        ]))
+        strict = Thresholds(regress_pct=5.0, noise_floor_s=0.1)
+        assert not compare_bench(bench, thresholds=strict).ok
+
+
+class TestDigestRegression:
+    @staticmethod
+    def _summary(p99):
+        return {
+            "count": 100, "mean": p99 / 2, "min": 0.001,
+            "p50": p99 / 2, "p90": p99 * 0.9, "p99": p99, "max": p99 * 1.1,
+        }
+
+    def test_digest_only_p99_regression_flags(self, tmp_path):
+        rows = [_row(10.0)]
+        bench = load_bench(_write(tmp_path, "x", [
+            _entry("t1", rows, telemetry={"round_seconds": self._summary(0.1)}),
+            _entry("t2", rows, telemetry={"round_seconds": self._summary(0.14)}),
+        ]))
+        report = compare_bench(bench)
+        assert not report.ok
+        flagged = {f.key for f in report.regressions}
+        assert "round_seconds.p99" in flagged
+
+    def test_digest_noise_floor_suppresses_micro_jitter(self, tmp_path):
+        rows = [_row(10.0)]
+        bench = load_bench(_write(tmp_path, "x", [
+            _entry("t1", rows, telemetry={"round_seconds": self._summary(1e-4)}),
+            _entry("t2", rows, telemetry={"round_seconds": self._summary(5e-4)}),
+        ]))
+        assert compare_bench(bench).ok
+
+    def test_count_growth_is_not_a_latency_regression(self, tmp_path):
+        rows = [_row(10.0)]
+        bench = load_bench(_write(tmp_path, "x", [
+            _entry("t1", rows, telemetry={"round_seconds": dict(self._summary(0.1), count=10)}),
+            _entry("t2", rows, telemetry={"round_seconds": dict(self._summary(0.1), count=1000)}),
+        ]))
+        assert compare_bench(bench).ok
+
+    def test_error_counter_increase_flags(self, tmp_path):
+        rows = [_row(10.0)]
+        bench = load_bench(_write(tmp_path, "x", [
+            _entry("t1", rows, telemetry={"counters": {"client.errors": 0}}),
+            _entry("t2", rows, telemetry={"counters": {"client.errors": 3}}),
+        ]))
+        report = compare_bench(bench)
+        assert not report.ok
+        [finding] = report.regressions
+        assert finding.kind == "counter"
+
+    def test_benign_counter_increase_ignored(self, tmp_path):
+        rows = [_row(10.0)]
+        bench = load_bench(_write(tmp_path, "x", [
+            _entry("t1", rows, telemetry={"counters": {"client.cache.hits": 5}}),
+            _entry("t2", rows, telemetry={"counters": {"client.cache.hits": 50}}),
+        ]))
+        assert compare_bench(bench).ok
+
+    def test_missing_baseline_digest_is_a_skip(self, tmp_path):
+        rows = [_row(10.0)]
+        bench = load_bench(_write(tmp_path, "x", [
+            _entry("t1", rows),
+            _entry("t2", rows, telemetry={"round_seconds": self._summary(0.1)}),
+        ]))
+        report = compare_bench(bench)
+        assert report.ok
+        assert any("no telemetry digest" in s for s in report.skipped)
+
+
+class TestGates:
+    def test_sharding_gate_passes_and_fails_on_speedup(self, tmp_path):
+        def bench_with(speedup):
+            rows = [dict(_row(1.0, mode="run_sharded", workers=4),
+                         speedup_vs_batch=speedup)]
+            return load_bench(_write(tmp_path, "sharding", [_entry("t1", rows)]))
+
+        ok = evaluate_gates(bench_with(SHARDING_SPEEDUP_FLOOR + 0.5))
+        assert [g.regressed for g in ok] == [False]
+        bad = evaluate_gates(bench_with(SHARDING_SPEEDUP_FLOOR - 0.5))
+        assert [g.regressed for g in bad] == [True]
+
+    def test_sharding_gate_skipped_below_min_cpus(self, tmp_path):
+        rows = [dict(_row(1.0, cpus=1), speedup_vs_batch=0.5)]
+        bench = load_bench(_write(tmp_path, "sharding", [
+            _entry("t1", rows, machine={"cpus": 1, "python": "3.11"}),
+        ]))
+        assert evaluate_gates(bench) == []
+
+    def test_kernel_gate_skipped_without_numba_rows(self, tmp_path):
+        rows = [{"rule": "cobra", "backend": "numpy", "n": 100000,
+                 "runs": 32, "cpus": 8, "seconds_per_round": 0.5,
+                 "speedup_vs_numpy": 1.0}]
+        bench = load_bench(_write(tmp_path, "kernels", [_entry("t1", rows)]))
+        assert evaluate_gates(bench) == []
+
+    def test_kernel_gate_fails_below_floor(self, tmp_path):
+        rows = [{"rule": "cobra", "backend": "numba", "n": 100000,
+                 "runs": 32, "cpus": 8, "seconds_per_round": 0.1,
+                 "speedup_vs_numpy": KERNEL_SPEEDUP_FLOOR / 2}]
+        bench = load_bench(_write(tmp_path, "kernels", [_entry("t1", rows)]))
+        [gate] = evaluate_gates(bench)
+        assert gate.regressed
+
+    def test_resilience_gate_reads_meta_overhead(self, tmp_path):
+        def bench_with(overhead):
+            return load_bench(_write(tmp_path, "resilience", [
+                _entry("t1", [_row(1.0)],
+                       meta={"overhead_fraction": overhead}),
+            ]))
+
+        [ok] = evaluate_gates(bench_with(RESILIENCE_OVERHEAD_MAX / 2))
+        assert not ok.regressed
+        [bad] = evaluate_gates(bench_with(RESILIENCE_OVERHEAD_MAX * 2))
+        assert bad.regressed
+
+    def test_unknown_bench_has_no_gates(self, tmp_path):
+        bench = load_bench(_write(tmp_path, "adversary", [_entry("t1", [_row(1.0)])]))
+        assert evaluate_gates(bench) == []
+
+
+class TestCommittedTrajectories:
+    def test_repo_bench_files_pass_clean(self):
+        paths = discover_benches(".")
+        if not paths:
+            pytest.skip("no BENCH_*.json at the repo root")
+        report = compare_all(paths)
+        assert report.ok, render_report(report)
+
+    def test_repo_trends_render(self):
+        paths = discover_benches(".")
+        if not paths:
+            pytest.skip("no BENCH_*.json at the repo root")
+        text = render_trends(load_benches(paths))
+        for path in paths:
+            assert path.name in text
+
+
+class TestCli:
+    def test_compare_exits_nonzero_on_regression(self, tmp_path, capsys):
+        _write(tmp_path, "x", [
+            _entry("t1", [_row(10.0)]),
+            _entry("t2", [_row(12.5)]),
+        ])
+        code = cli_main(
+            ["bench", "compare", "--root", str(tmp_path),
+             "--fail-on-regress", "20"]
+        )
+        assert code == 1
+        assert "REGRESS" in capsys.readouterr().out
+
+    def test_digest_only_regression_exits_nonzero(self, tmp_path, capsys):
+        # Headline seconds identical; only the p99 round latency moved.
+        summary = TestDigestRegression._summary
+        _write(tmp_path, "x", [
+            _entry("t1", [_row(10.0)],
+                   telemetry={"round_seconds": summary(0.1)}),
+            _entry("t2", [_row(10.0)],
+                   telemetry={"round_seconds": summary(0.14)}),
+        ])
+        code = cli_main(["bench", "compare", "--root", str(tmp_path)])
+        assert code == 1
+        assert "round_seconds.p99" in capsys.readouterr().out
+
+    def test_compare_exits_zero_when_clean(self, tmp_path, capsys):
+        _write(tmp_path, "x", [
+            _entry("t1", [_row(10.0)]),
+            _entry("t2", [_row(10.1)]),
+        ])
+        assert cli_main(["bench", "compare", "--root", str(tmp_path)]) == 0
+
+    def test_fail_on_regress_tightens_threshold(self, tmp_path):
+        _write(tmp_path, "x", [
+            _entry("t1", [_row(10.0)]),
+            _entry("t2", [_row(11.0)]),  # +10%: default passes
+        ])
+        assert cli_main(["bench", "compare", "--root", str(tmp_path)]) == 0
+        assert cli_main(
+            ["bench", "compare", "--root", str(tmp_path),
+             "--fail-on-regress", "5"]
+        ) == 1
+
+    def test_named_trajectory_selection(self, tmp_path):
+        _write(tmp_path, "x", [_entry("t1", [_row(10.0)])])
+        assert cli_main(["bench", "compare", "--root", str(tmp_path), "x"]) == 0
+        with pytest.raises(SystemExit):
+            cli_main(["bench", "compare", "--root", str(tmp_path), "nope"])
+
+    def test_migrate_and_report(self, tmp_path, capsys):
+        _write(tmp_path, "x", [
+            {"timestamp": "t1", "rows": [{"mode": "a", "seconds": 1.0}]},
+        ])
+        assert cli_main(["bench", "migrate", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 entry migrated" in out
+        assert cli_main(["bench", "report", "--root", str(tmp_path)]) == 0
+        assert "BENCH_x.json" in capsys.readouterr().out
+
+    def test_empty_root_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(["bench", "compare", "--root", str(tmp_path)])
