@@ -1,12 +1,16 @@
 """Resilience overhead: the no-op fault/retry/checkpoint path must be free.
 
-Times COBRA cover sampling four ways:
+Times COBRA cover sampling five ways:
 
 * **bare** — ``run_sharded(workers=1)``, resilience hooks present but
   no plan installed (the production default);
 * **inert-plan** — identical run with a :class:`FaultPlan` installed
   whose rules target only distributed injection sites, none of which a
   local run reaches: measures the cost of the hook checks themselves;
+* **live-on** — identical run with the live observability plane fully
+  up: a :class:`MetricsServer` serving ``/metrics`` and a
+  :class:`ResourceSampler` ticking in the background, the
+  ``--metrics-port`` deployment mode;
 * **checkpointed** — cold checkpointed run (manifest + cache writes
   per shard);
 * **checkpointed-resume** — the same invocation again, fully served
@@ -15,8 +19,9 @@ Times COBRA cover sampling four ways:
 Every invocation appends ``(n, R, mode, seconds)`` rows to
 ``BENCH_resilience.json`` via :mod:`benchmarks.record`.  The pytest
 gates assert (a) bit-identity across every mode and (b) the <5%%
-overhead contract: with no faults firing, the median inert-plan run
-stays within 5%% of the median bare run.
+overhead contracts: with no faults firing, the median inert-plan run
+stays within 5%% of the median bare run, and so does the median
+live-on run (exporter + sampler on vs off).
 
 Run with::
 
@@ -41,7 +46,8 @@ from repro.distributed import ResultCache
 from repro.engine import CobraRule, SpreadEngine
 from repro.graphs import random_regular_graph
 from repro.resilience import FaultPlan, FaultRule, fault_injection
-from repro.telemetry.compare import RESILIENCE_OVERHEAD_MAX
+from repro.telemetry import MetricsServer, ResourceSampler
+from repro.telemetry.compare import LIVE_OVERHEAD_MAX, RESILIENCE_OVERHEAD_MAX
 
 N = 4096
 RUNS = 256
@@ -121,6 +127,19 @@ def measure(
     row("inert-plan", inert_s)
     results["inert-plan"] = inert_result.finish_times
 
+    # Steady-state live-plane cost: the server + sampler run across the
+    # timed region (the deployment shape — they live for the process,
+    # not per job), so their one-off start/stop cost is not measured.
+    with MetricsServer(port=0), ResourceSampler():
+        live_s, live_result = _timed(
+            lambda: engine.run_sharded(
+                state, SEED, workers=1, max_shard=max_shard
+            ),
+            repeats,
+        )
+    row("live-on", live_s)
+    results["live-on"] = live_result.finish_times
+
     with tempfile.TemporaryDirectory() as tmp:
         cache = ResultCache(f"{tmp}/cache", max_bytes=None)
         manifest = f"{tmp}/job.ckpt.json"
@@ -152,11 +171,11 @@ def check_identity(results: dict) -> None:
             )
 
 
-def overhead_fraction(rows: list[dict]) -> float:
-    """(inert-plan - bare) / bare, from the recorded rows."""
+def overhead_fraction(rows: list[dict], mode: str = "inert-plan") -> float:
+    """(*mode* - bare) / bare, from the recorded rows."""
     by_mode = {r["mode"]: r["seconds"] for r in rows}
     bare = by_mode["bare"]
-    return (by_mode["inert-plan"] - bare) / bare if bare > 0 else 0.0
+    return (by_mode[mode] - bare) / bare if bare > 0 else 0.0
 
 
 # ----------------------------------------------------------------------
@@ -182,11 +201,16 @@ def test_inert_plan_overhead_under_five_percent():
 
     rows, _results = measure(n=1024, runs=128, max_shard=32, repeats=5)
     overhead = overhead_fraction(rows)
+    live_overhead = overhead_fraction(rows, "live-on")
     with tempfile.TemporaryDirectory() as tmp:
         path = record_bench(
             "resilience",
             rows,
-            meta={"cell": "gate", "overhead_fraction": round(overhead, 4)},
+            meta={
+                "cell": "gate",
+                "overhead_fraction": round(overhead, 4),
+                "live_overhead_fraction": round(live_overhead, 4),
+            },
             root=tmp,
         )
         gates = evaluate_gates(load_bench(path))
@@ -227,11 +251,13 @@ def main(argv=None) -> int:
     rows, results = measure(n, runs, max_shard=max_shard)
     check_identity(results)
     overhead = overhead_fraction(rows)
+    live_overhead = overhead_fraction(rows, "live-on")
     ctx = machine_context()
     print(
         f"COBRA b=2 on rreg-{DEGREE}-{n}, R={runs}, serial shards "
         f"({ctx['cpus']} CPUs); inert-plan overhead {overhead:+.1%} "
-        f"(gate < {RESILIENCE_OVERHEAD_MAX:.0%})"
+        f"(gate < {RESILIENCE_OVERHEAD_MAX:.0%}), live exporter overhead "
+        f"{live_overhead:+.1%} (gate < {LIVE_OVERHEAD_MAX:.0%})"
     )
     header = f"{'mode':22} {'seconds':>9}"
     print(header)
@@ -244,6 +270,7 @@ def main(argv=None) -> int:
         meta={
             "cell": "smoke" if args.smoke else "full",
             "overhead_fraction": round(overhead, 4),
+            "live_overhead_fraction": round(live_overhead, 4),
         },
     )
     return 0

@@ -10,6 +10,7 @@ Subcommands::
     repro broker --port 7603                  # shard-queue broker
     repro worker 127.0.0.1:7603               # worker attached to a broker
     repro status 127.0.0.1:7603 [--watch 2]   # broker queue counters + metrics
+    repro top 127.0.0.1:9633 [...] [--once]   # live dashboard over /statusz
     repro trace summarize trace.jsonl [...]   # stitched span tree + histograms
     repro bench compare [--fail-on-regress PCT]  # BENCH regression analytics
     repro bench report                        # ASCII perf trend tables
@@ -357,8 +358,45 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         metavar="SECONDS",
-        help="poll the broker every SECONDS, reprinting queue counters "
-        "and latency/throughput metrics until interrupted",
+        help="poll the broker every SECONDS, clearing and redrawing the "
+        "status panel until interrupted",
+    )
+
+    top_p = sub.add_parser(
+        "top",
+        help="live terminal dashboard over one or more /statusz endpoints "
+        "(brokers/workers started with --metrics-port)",
+    )
+    top_p.add_argument(
+        "endpoints",
+        nargs="+",
+        metavar="ENDPOINT",
+        help="metrics endpoint, host:port (the --metrics-port address, "
+        "not the broker's task port)",
+    )
+    top_p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between polls (default 2)",
+    )
+    top_p.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (scripting/CI use)",
+    )
+    top_p.add_argument(
+        "--timeout",
+        type=float,
+        default=2.0,
+        help="per-endpoint HTTP timeout in seconds",
+    )
+    top_p.add_argument(
+        "--fail-on-dead",
+        action="store_true",
+        help="exit nonzero when an endpoint is unreachable instead of "
+        "rendering its last frame as a stale panel",
     )
 
     trace_p = sub.add_parser(
@@ -452,6 +490,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=5,
         help="leases a shard may consume before its job is failed",
     )
+    broker_p.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics, /healthz and /statusz on this HTTP port and "
+        "sample process resources (0 = ephemeral; also "
+        "REPRO_METRICS_PORT)",
+    )
 
     worker_p = sub.add_parser(
         "worker",
@@ -471,6 +518,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.5,
         help="seconds between lease attempts while the queue is empty",
+    )
+    worker_p.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics, /healthz and /statusz on this HTTP port and "
+        "sample process resources (0 = ephemeral; also "
+        "REPRO_METRICS_PORT)",
     )
     worker_p.add_argument(
         "--faults",
@@ -908,64 +964,33 @@ def _cmd_adversary(args: argparse.Namespace) -> int:
     return 0
 
 
-def _latency_line(summary) -> str:
-    if not summary:
-        return "(no samples yet)"
-    return (
-        f"n={summary['count']} p50={summary['p50'] * 1e3:.1f}ms "
-        f"p90={summary['p90'] * 1e3:.1f}ms p99={summary['p99'] * 1e3:.1f}ms "
-        f"max={summary['max'] * 1e3:.1f}ms"
-    )
-
-
-def _render_status(endpoint: str, counts: dict) -> str:
-    """Format one broker status reply (queue counts + metrics + cache)."""
-    from .distributed.cache import ResultCache
+def _status_frame(endpoint: str, counts: dict) -> dict:
+    """Adapt a TCP ``status`` reply into the shared panel-frame shape."""
+    from .distributed import transport_snapshot
 
     core = ("jobs", "pending", "leased", "done", "failed")
-    lines = [f"broker {endpoint}"]
-    for key in core:
-        lines.append(f"  {key:8}: {counts.get(key, 0)}")
+    queue = {key: counts.get(key, 0) for key in core}
     for key in sorted(set(counts) - set(core) - {"metrics"}):
-        lines.append(f"  {key:8}: {counts[key]}")
-    metrics = counts.get("metrics") or {}
-    if metrics:
-        lines.append(
-            "  queue   : "
-            f"submits={metrics.get('submits', 0)} "
-            f"shards={metrics.get('shards_submitted', 0)} "
-            f"leases={metrics.get('leases', 0)} "
-            f"completes={metrics.get('completes', 0)} "
-            f"requeues={metrics.get('requeues', 0)} "
-            f"heartbeats={metrics.get('heartbeats', 0)} "
-            f"errors={metrics.get('worker_errors', 0)}"
-        )
-        lines.append(f"  wait    : {_latency_line(metrics.get('wait_s'))}")
-        lines.append(f"  exec    : {_latency_line(metrics.get('exec_s'))}")
-        workers = metrics.get("workers") or {}
-        for worker_id, stats in sorted(workers.items()):
-            lines.append(
-                f"  {worker_id:8}: completed={stats.get('completed', 0)} "
-                f"busy={stats.get('busy_s', 0.0):.2f}s "
-                f"runs={stats.get('runs', 0)} rounds={stats.get('rounds', 0)} "
-                f"throughput={stats.get('throughput', 0.0):.2f} shard/s"
-            )
-    root = ResultCache.default_root()
-    if root is None:
-        lines.append("  cache   : disabled (REPRO_CACHE_DIR)")
-    elif root.is_dir():
-        store = ResultCache(root)
-        lines.append(
-            f"  cache   : {len(store)} entr(ies), "
-            f"{store.total_bytes()} bytes at {root}"
-        )
-    else:
-        lines.append(f"  cache   : empty at {root}")
-    return "\n".join(lines)
+        queue[key] = counts[key]
+    frame = {
+        "role": "broker",
+        "address": endpoint,
+        "queue": queue,
+        "metrics": counts.get("metrics") or {},
+    }
+    frame.update(transport_snapshot())
+    frame.pop("counters", None)  # client-side counters are noise here
+    return frame
+
+
+def _clear_screen() -> None:
+    """ANSI clear + home, so watch/top redraw instead of scroll-append."""
+    print("\x1b[2J\x1b[H", end="")
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
     from .distributed import DistributedError, broker_status
+    from .telemetry import render_status_panel
 
     while True:
         try:
@@ -976,11 +1001,12 @@ def _cmd_status(args: argparse.Namespace) -> int:
             )
             return 1
         try:
-            print(_render_status(args.endpoint, counts))
+            if args.watch is not None:
+                _clear_screen()
+            print(render_status_panel(_status_frame(args.endpoint, counts)))
             if args.watch is None:
                 return 0
             time.sleep(max(0.05, args.watch))
-            print()
         except KeyboardInterrupt:
             return 0
         except BrokenPipeError:
@@ -989,6 +1015,57 @@ def _cmd_status(args: argparse.Namespace) -> int:
             # stdout at devnull so the interpreter's exit-time flush
             # does not raise again.
             os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard: poll /statusz endpoints, render stacked panels.
+
+    A dead endpoint degrades to its last reachable frame marked STALE
+    (or a one-line unreachable notice if it never answered); only
+    ``--fail-on-dead`` turns that into a nonzero exit.
+    """
+    from .telemetry import fetch_statusz, render_status_panel
+
+    last: dict[str, tuple[dict, float]] = {}
+    while True:
+        now = time.monotonic()
+        dead: list[str] = []
+        panels: list[str] = []
+        for endpoint in args.endpoints:
+            try:
+                payload = fetch_statusz(endpoint, timeout=args.timeout)
+                last[endpoint] = (payload, now)
+            except (OSError, ValueError) as exc:
+                dead.append(endpoint)
+                if endpoint not in last:
+                    panels.append(f"{endpoint}: unreachable ({exc})")
+                    continue
+            payload, seen = last[endpoint]
+            stale = now - seen if endpoint in dead else None
+            panels.append(
+                render_status_panel(payload, title=endpoint, stale_s=stale)
+            )
+        frame = "\n\n".join(panels)
+        try:
+            if not args.once:
+                _clear_screen()
+            print(frame)
+        except KeyboardInterrupt:
+            return 0
+        except BrokenPipeError:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
+        if dead and args.fail_on_dead:
+            print(
+                f"unreachable endpoint(s): {', '.join(dead)}", file=sys.stderr
+            )
+            return 1
+        if args.once:
+            return 0
+        try:
+            time.sleep(max(0.05, args.interval))
+        except KeyboardInterrupt:
             return 0
 
 
@@ -1070,6 +1147,7 @@ def _print_cache_stats() -> None:
 
 def _cmd_broker(args: argparse.Namespace) -> int:
     from .distributed import Broker
+    from .telemetry import ResourceSampler, metrics_port_from_env
 
     broker = Broker(
         args.host,
@@ -1077,16 +1155,30 @@ def _cmd_broker(args: argparse.Namespace) -> int:
         lease_timeout=args.lease_timeout,
         max_attempts=args.max_attempts,
     )
-    try:
-        broker.run_forever(
-            ready=lambda b: print(
-                f"repro broker listening on {b.address} "
-                f"(lease timeout {b.ledger.lease_timeout:g}s, "
-                f"max attempts {b.ledger.max_attempts})"
-            )
+    metrics_port = metrics_port_from_env(args.metrics_port)
+    live: list = []
+
+    def _ready(b) -> None:
+        print(
+            f"repro broker listening on {b.address} "
+            f"(lease timeout {b.ledger.lease_timeout:g}s, "
+            f"max attempts {b.ledger.max_attempts})"
         )
+        if metrics_port is not None:
+            # Started from the ready callback so the ephemeral-port
+            # case can report the bound port next to the task port.
+            live.append(ResourceSampler().start())
+            server = b.serve_metrics(metrics_port, host=args.host)
+            live.append(server)
+            print(f"repro broker metrics on http://{server.address}/metrics")
+
+    try:
+        broker.run_forever(ready=_ready)
     except KeyboardInterrupt:
         pass
+    finally:
+        for item in live:
+            item.stop()
     return 0
 
 
@@ -1111,6 +1203,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             max_tasks=args.max_tasks,
             poll_interval=args.poll,
             faults=faults,
+            metrics_port=args.metrics_port,
         )
     except KeyboardInterrupt:
         return 0
@@ -1216,6 +1309,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_adversary(args)
     if args.command == "status":
         return _cmd_status(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "bench":

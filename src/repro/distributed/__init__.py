@@ -41,6 +41,7 @@ from .client import (
     execute_shards_remote,
     execute_shards_resilient,
     run_distributed,
+    transport_snapshot,
 )
 from .wire import (
     WIRE_VERSION,
@@ -68,6 +69,7 @@ __all__ = [
     "BrokerUnavailable",
     "DistributedError",
     "broker_status",
+    "transport_snapshot",
     "execute_shards_remote",
     "execute_shards_resilient",
     "run_distributed",

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import os
 import threading
 import time
 from collections import deque
@@ -313,6 +314,24 @@ class ShardLedger:
         tally["jobs"] = len(self._jobs)
         return tally
 
+    def stale_leases(self, now: float, grace: float = 0.0) -> tuple[int, float]:
+        """Leased shards whose deadline passed over ``grace`` seconds ago.
+
+        Returns ``(count, worst_overdue_s)``.  A healthy broker sweeps
+        expired leases back to pending within one sweep interval, so
+        any lease overdue by more than a couple of intervals means the
+        sweeper is wedged — the ``/healthz`` staleness signal.
+        """
+        count, worst = 0, 0.0
+        for record in self._shards.values():
+            if record.state != LEASED or record.deadline is None:
+                continue
+            overdue = now - record.deadline - grace
+            if overdue > 0:
+                count += 1
+                worst = max(worst, overdue)
+        return count, worst
+
 
 class QueueMetrics:
     """Queue-health aggregation fed by broker transitions.
@@ -390,13 +409,16 @@ class QueueMetrics:
         self.exec_s.append(elapsed)
         worker = self.workers.setdefault(
             worker_id,
-            {"completed": 0, "busy_s": 0.0, "runs": 0, "rounds": 0},
+            {"completed": 0, "busy_s": 0.0, "runs": 0, "rounds": 0, "max_rss": 0},
         )
         worker["completed"] += 1
         worker["busy_s"] += elapsed
         if stats:
             worker["runs"] += int(stats.get("runs", 0) or 0)
             worker["rounds"] += int(stats.get("rounds_run", 0) or 0)
+            rss = stats.get("max_rss")
+            if rss:
+                worker["max_rss"] = max(worker.get("max_rss", 0), int(rss))
         return elapsed
 
     def on_worker_error(self) -> None:
@@ -488,7 +510,8 @@ class Broker:
             self._handle, self.host, self._requested_port
         )
         self.port = self._server.sockets[0].getsockname()[1]
-        self._sweeper = asyncio.get_running_loop().create_task(self._sweep_loop())
+        self._loop = asyncio.get_running_loop()
+        self._sweeper = self._loop.create_task(self._sweep_loop())
 
     async def stop(self) -> None:
         """Close the server and cancel this broker's handler tasks.
@@ -588,6 +611,144 @@ class Broker:
     def __exit__(self, *exc) -> None:
         """Context manager: shut the background thread down."""
         self.shutdown()
+
+    # -- live observability ---------------------------------------------
+    def _on_loop(self, fn):
+        """Run ``fn()`` on the broker's event loop from any thread.
+
+        The ledger and metrics tables are only ever mutated on the
+        event-loop thread; hopping there for reads keeps the HTTP
+        endpoint threads from observing partially-applied transitions.
+        Falls back to a direct call when no loop is running (unit tests
+        poking a never-started broker).
+        """
+        loop = self._loop
+        if loop is None or not loop.is_running():
+            return fn()
+
+        async def _call():
+            return fn()
+
+        return asyncio.run_coroutine_threadsafe(_call(), loop).result(timeout=10)
+
+    def _health_sync(self) -> dict:
+        now = time.monotonic()
+        grace = 2.0 * self.sweep_interval
+        stale, worst = self.ledger.stale_leases(now, grace)
+        sweeper_ok = self._sweeper is not None and not self._sweeper.done()
+        ok = sweeper_ok and stale == 0
+        payload = {
+            "ok": ok,
+            "sweeper_alive": sweeper_ok,
+            "stale_leases": stale,
+        }
+        if not ok:
+            detail = []
+            if not sweeper_ok:
+                detail.append("lease sweeper not running")
+            if stale:
+                detail.append(
+                    f"{stale} lease(s) overdue by up to {worst:.1f}s "
+                    "past the sweep grace window"
+                )
+            payload["detail"] = "; ".join(detail)
+        return payload
+
+    def health(self) -> dict:
+        """Thread-safe ``/healthz`` verdict: liveness + lease staleness.
+
+        ``ok`` is false when the sweeper task has died or a lease
+        deadline sits more than two sweep intervals in the past
+        without being requeued — both mean the queue has stopped making
+        progress even though the socket still answers.
+        """
+        return self._on_loop(self._health_sync)
+
+    def _status_sync(self) -> dict:
+        now = time.monotonic()
+        return {
+            "role": "broker",
+            "address": self.address,
+            "pid": os.getpid(),
+            "queue": self.ledger.counts(),
+            "metrics": self.metrics.snapshot(now),
+            "health": self._health_sync(),
+        }
+
+    def status_snapshot(self) -> dict:
+        """Thread-safe ``/statusz`` frame: queue, metrics, cache, resources.
+
+        The superset of the TCP ``status`` reply: ledger counts and
+        :class:`QueueMetrics` (with per-worker throughput and peak
+        RSS), plus this process's circuit-breaker states, result-cache
+        footprint and resource snapshot.
+        """
+        from ..telemetry.resource import resource_snapshot
+        from .client import transport_snapshot
+
+        status = self._on_loop(self._status_sync)
+        status.update(transport_snapshot())
+        status["resources"] = resource_snapshot()
+        return status
+
+    def _metrics_extra_sync(self) -> dict:
+        now = time.monotonic()
+        counts = self.ledger.counts()
+        snap = self.metrics.snapshot(now)
+        stale, _ = self.ledger.stale_leases(now, 2.0 * self.sweep_interval)
+        gauges: dict = {
+            "broker.jobs": counts["jobs"],
+            "broker.stale_leases": stale,
+        }
+        for state in (PENDING, LEASED, DONE, FAILED):
+            gauges[f"broker.shards.{state}"] = counts[state]
+        workers = snap.get("workers") or {}
+        if workers:
+            gauges["broker.worker.completed"] = [
+                ({"worker": wid}, s["completed"]) for wid, s in workers.items()
+            ]
+            gauges["broker.worker.throughput"] = [
+                ({"worker": wid}, s["throughput"]) for wid, s in workers.items()
+            ]
+            rss = [
+                ({"worker": wid}, s["max_rss"])
+                for wid, s in workers.items()
+                if s.get("max_rss")
+            ]
+            if rss:
+                gauges["broker.worker.max_rss_bytes"] = rss
+        counters = {
+            f"broker.queue.{key}": value
+            for key, value in self.metrics.counters.items()
+        }
+        histograms = {}
+        if snap.get("wait_s"):
+            histograms["broker.wait.seconds"] = snap["wait_s"]
+        if snap.get("exec_s"):
+            histograms["broker.exec.seconds"] = snap["exec_s"]
+        return {"gauges": gauges, "counters": counters, "histograms": histograms}
+
+    def metrics_extra(self) -> dict:
+        """Thread-safe extra ``/metrics`` families: queue depths and workers."""
+        return self._on_loop(self._metrics_extra_sync)
+
+    def serve_metrics(self, port: int, host: str = "127.0.0.1"):
+        """Start a :class:`~repro.telemetry.live.MetricsServer` for this broker.
+
+        Wires ``/metrics``/``/healthz``/``/statusz`` to the broker's
+        thread-safe snapshots and returns the started server (port 0
+        binds ephemerally; the caller owns ``stop()``).
+        """
+        from ..telemetry.live import MetricsServer
+
+        server = MetricsServer(
+            host=host,
+            port=port,
+            status=self.status_snapshot,
+            health=self.health,
+            extra=self.metrics_extra,
+        )
+        return server.start()
 
     # -- protocol -------------------------------------------------------
     def _job_span_id(self, job_id: str) -> str:

@@ -68,6 +68,7 @@ __all__ = [
     "execute_shards_resilient",
     "run_distributed",
     "broker_status",
+    "transport_snapshot",
 ]
 
 
@@ -470,6 +471,40 @@ def run_distributed(
         fallback=fallback,
         **kwargs,
     )
+
+
+def transport_snapshot() -> dict:
+    """This process's transport-side health: cache, breakers, counters.
+
+    The shared status fragment ``/statusz`` and the CLI panels splice
+    into their frames: the result-cache footprint (entries/bytes at
+    the resolved ``REPRO_CACHE_DIR`` root), every registered
+    circuit-breaker's state, and the ``client.*``/``retry.*``
+    lifecycle counters.  Read-only and cheap — safe to call from any
+    thread.
+    """
+    from ..resilience.retry import breaker_states
+    from .cache import ResultCache
+
+    root = ResultCache.default_root()
+    if root is None:
+        cache = {"enabled": False}
+    elif root.is_dir():
+        store = ResultCache(root)
+        cache = {
+            "enabled": True,
+            "path": str(root),
+            "entries": len(store),
+            "bytes": store.total_bytes(),
+        }
+    else:
+        cache = {"enabled": True, "path": str(root), "entries": 0, "bytes": 0}
+    counters = {
+        name: value
+        for name, value in get_telemetry().counters().items()
+        if name.startswith(("client.", "retry."))
+    }
+    return {"cache": cache, "breakers": breaker_states(), "counters": counters}
 
 
 def broker_status(endpoint, *, timeout: float = 5.0) -> dict:

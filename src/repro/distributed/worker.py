@@ -47,6 +47,8 @@ from ..resilience.faults import (
 )
 from ..resilience.retry import RetryError
 from ..telemetry import TraceContext, get_telemetry
+from ..telemetry.live import MetricsServer, metrics_port_from_env
+from ..telemetry.resource import ResourceSampler, resource_snapshot
 from .wire import (
     attach_trace,
     decode_task,
@@ -62,7 +64,7 @@ __all__ = ["run_worker"]
 #: meta into the ``stats`` dict of its ``complete`` frame — the only
 #: place shard timings cross the wire (results themselves stay
 #: meta-free so the wire format and cache entries are unchanged).
-_STATS_KEYS = ("wall_s", "cpu_s", "runs", "rounds_run")
+_STATS_KEYS = ("wall_s", "cpu_s", "runs", "rounds_run", "max_rss")
 
 
 def _heartbeat_loop(
@@ -135,6 +137,7 @@ def run_worker(
     connect_retries: int = 20,
     retry_delay: float = 0.25,
     faults: FaultPlan | None = None,
+    metrics_port: int | None = None,
 ) -> int:
     """Serve shards from ``endpoint`` until the broker goes away.
 
@@ -159,6 +162,12 @@ def run_worker(
         this process (chaos harness use).  When None, the
         ``REPRO_FAULT_PLAN`` environment variable is consulted, so
         spawned worker processes inherit the plan.
+    metrics_port:
+        Serve ``/metrics``/``/healthz``/``/statusz`` on this port (0 =
+        ephemeral) and run a :class:`~repro.telemetry.ResourceSampler`
+        for the lifetime of the worker.  When None the
+        ``REPRO_METRICS_PORT`` environment variable is consulted;
+        unset/off means no HTTP surface and no sampling thread at all.
 
     Returns the number of shards completed (including ones that ended
     in a reported error).  The very first dial failing (no broker ever
@@ -177,130 +186,159 @@ def run_worker(
         jitter=0.0,
         retry_on=(OSError,),
     )
-    completed = 0
-    leases = 0
-    tel = get_telemetry()
-    ever_connected = False
-    while max_tasks is None or completed < max_tasks:
-        try:
-            sock = _dial(host, port, dial_policy)
-        except (RetryError, OSError) as exc:
-            if not ever_connected:
-                cause = exc.last if isinstance(exc, RetryError) else exc
-                raise (
-                    cause if isinstance(cause, OSError) else exc
-                ) from exc
-            break
-        if ever_connected:
-            tel.count("worker.reconnects")
-            if tel.enabled:
-                tel.event("worker.reconnect", endpoint=f"{host}:{port}")
-        ever_connected = True
-        lock = threading.Lock()
-        try:
-            while max_tasks is None or completed < max_tasks:
-                with lock:
-                    send_frame(sock, {"type": "lease"}, site="worker.send")
-                message = recv_frame(sock)
-                if message is None:
-                    break
-                kind = message.get("type")
-                if kind == "idle":
-                    time.sleep(poll_interval)
-                    continue
-                if kind != "task":
-                    break
-                leases += 1
-                if plan is not None and plan.kill_worker(leases):
-                    # A chaos kill is a SIGKILL stand-in: no cleanup,
-                    # no goodbye frame — the broker must recover from
-                    # lease expiry / EOF alone.
-                    tel.count("faults.injected")
-                    os._exit(17)
-                shard_id = message["shard_id"]
-                trace = TraceContext.from_wire(message.get("trace"))
-                interval = max(
-                    0.05, float(message.get("lease_timeout", 30.0)) / 3.0
-                )
-                stop = threading.Event()
-                heartbeat = threading.Thread(
-                    target=_heartbeat_loop,
-                    args=(sock, lock, shard_id, interval, stop),
-                    name="repro-worker-heartbeat",
-                    daemon=True,
-                )
-                heartbeat.start()
+    def _session_loop() -> int:
+        """The dial/lease/execute loop, wrapped so the live plane is
+        torn down on every exit path."""
+        completed = 0
+        leases = 0
+        tel = get_telemetry()
+        ever_connected = False
+        while max_tasks is None or completed < max_tasks:
+            try:
+                sock = _dial(host, port, dial_policy)
+            except (RetryError, OSError) as exc:
+                if not ever_connected:
+                    cause = exc.last if isinstance(exc, RetryError) else exc
+                    raise (
+                        cause if isinstance(cause, OSError) else exc
+                    ) from exc
+                break
+            if ever_connected:
+                tel.count("worker.reconnects")
                 if tel.enabled:
-                    tel.event("worker.lease", shard=shard_id)
-                try:
-                    # Install the job's trace context (when the lease
-                    # carried one) so the shard.run span stitches under
-                    # the client's tree; restored immediately after.
-                    prev_ctx = tel.install_context(trace) if trace else None
+                    tel.event("worker.reconnect", endpoint=f"{host}:{port}")
+            ever_connected = True
+            lock = threading.Lock()
+            try:
+                while max_tasks is None or completed < max_tasks:
+                    with lock:
+                        send_frame(sock, {"type": "lease"}, site="worker.send")
+                    message = recv_frame(sock)
+                    if message is None:
+                        break
+                    kind = message.get("type")
+                    if kind == "idle":
+                        time.sleep(poll_interval)
+                        continue
+                    if kind != "task":
+                        break
+                    leases += 1
+                    if plan is not None and plan.kill_worker(leases):
+                        # A chaos kill is a SIGKILL stand-in: no cleanup,
+                        # no goodbye frame — the broker must recover from
+                        # lease expiry / EOF alone.
+                        tel.count("faults.injected")
+                        os._exit(17)
+                    shard_id = message["shard_id"]
+                    trace = TraceContext.from_wire(message.get("trace"))
+                    interval = max(
+                        0.05, float(message.get("lease_timeout", 30.0)) / 3.0
+                    )
+                    stop = threading.Event()
+                    heartbeat = threading.Thread(
+                        target=_heartbeat_loop,
+                        args=(sock, lock, shard_id, interval, stop),
+                        name="repro-worker-heartbeat",
+                        daemon=True,
+                    )
+                    heartbeat.start()
+                    if tel.enabled:
+                        tel.event("worker.lease", shard=shard_id)
                     try:
-                        result = run_shard(decode_task(message["task"]))
-                    finally:
-                        if trace is not None:
-                            tel.install_context(prev_ctx)
-                except Exception as exc:
+                        # Install the job's trace context (when the lease
+                        # carried one) so the shard.run span stitches under
+                        # the client's tree; restored immediately after.
+                        prev_ctx = tel.install_context(trace) if trace else None
+                        try:
+                            result = run_shard(decode_task(message["task"]))
+                        finally:
+                            if trace is not None:
+                                tel.install_context(prev_ctx)
+                    except Exception as exc:
+                        stop.set()
+                        heartbeat.join()
+                        tel.count("worker.errors")
+                        if tel.enabled:
+                            tel.event(
+                                "worker.error",
+                                shard=shard_id,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                        with lock:
+                            send_frame(
+                                sock,
+                                {
+                                    "type": "error",
+                                    "shard_id": shard_id,
+                                    "message": f"{type(exc).__name__}: {exc}",
+                                },
+                                site="worker.send",
+                            )
+                        if recv_frame(sock) is None:
+                            break
+                        completed += 1
+                        continue
                     stop.set()
                     heartbeat.join()
-                    tel.count("worker.errors")
+                    shard_meta = (result.meta or {}).get("shard") or {}
+                    stats = {
+                        key: shard_meta[key]
+                        for key in _STATS_KEYS
+                        if key in shard_meta
+                    }
+                    tel.count("worker.completed")
                     if tel.enabled:
-                        tel.event(
-                            "worker.error",
-                            shard=shard_id,
-                            error=f"{type(exc).__name__}: {exc}",
-                        )
+                        tel.event("worker.complete", shard=shard_id, **stats)
                     with lock:
-                        send_frame(
-                            sock,
-                            {
-                                "type": "error",
-                                "shard_id": shard_id,
-                                "message": f"{type(exc).__name__}: {exc}",
-                            },
-                            site="worker.send",
-                        )
+                        frame = {
+                            "type": "complete",
+                            "shard_id": shard_id,
+                            "result": encode_result(result),
+                        }
+                        if stats:
+                            frame["stats"] = stats
+                        attach_trace(frame, trace)
+                        send_frame(sock, frame, site="worker.send")
                     if recv_frame(sock) is None:
                         break
                     completed += 1
-                    continue
-                stop.set()
-                heartbeat.join()
-                shard_meta = (result.meta or {}).get("shard") or {}
-                stats = {
-                    key: shard_meta[key]
-                    for key in _STATS_KEYS
-                    if key in shard_meta
-                }
-                tel.count("worker.completed")
-                if tel.enabled:
-                    tel.event("worker.complete", shard=shard_id, **stats)
-                with lock:
-                    frame = {
-                        "type": "complete",
-                        "shard_id": shard_id,
-                        "result": encode_result(result),
-                    }
-                    if stats:
-                        frame["stats"] = stats
-                    attach_trace(frame, trace)
-                    send_frame(sock, frame, site="worker.send")
-                if recv_frame(sock) is None:
-                    break
-                completed += 1
-            else:
-                # max_tasks reached inside a live session.
+                else:
+                    # max_tasks reached inside a live session.
+                    sock.close()
+                    return completed
+                # Clean EOF or a non-task reply: the broker went away (or
+                # is restarting).  Fall through to re-dial.
+            except (ConnectionError, OSError):
+                # Includes injected frame drops (InjectedFault is a
+                # ConnectionError): close this session and re-dial — the
+                # broker requeues the held lease when it sees EOF.
+                pass
+            finally:
                 sock.close()
-                return completed
-            # Clean EOF or a non-task reply: the broker went away (or
-            # is restarting).  Fall through to re-dial.
-        except (ConnectionError, OSError):
-            # Includes injected frame drops (InjectedFault is a
-            # ConnectionError): close this session and re-dial — the
-            # broker requeues the held lease when it sees EOF.
-            pass
-        finally:
-            sock.close()
-    return completed
+        return completed
+
+    resolved_port = metrics_port_from_env(metrics_port)
+    server = None
+    sampler = None
+    if resolved_port is not None:
+        from ..resilience.retry import breaker_states
+
+        def _statusz() -> dict:
+            return {
+                "role": "worker",
+                "endpoint": f"{host}:{port}",
+                "pid": os.getpid(),
+                "counters": get_telemetry().counters(),
+                "breakers": breaker_states(),
+                "resources": resource_snapshot(),
+            }
+
+        sampler = ResourceSampler().start()
+        server = MetricsServer(port=resolved_port, status=_statusz).start()
+    try:
+        return _session_loop()
+    finally:
+        if server is not None:
+            server.stop()
+        if sampler is not None:
+            sampler.stop()

@@ -48,6 +48,7 @@ from ..stats.rng import seed_sequence_from, spawn_seeds
 from ..telemetry import (
     TraceContext,
     get_telemetry,
+    max_rss_bytes,
     seed_id_parts,
     span_id_from,
     summarize_values,
@@ -232,6 +233,7 @@ def run_shard(task: ShardTask):
                 "wall_s": time.perf_counter() - wall0,
                 "cpu_s": time.process_time() - cpu0,
                 "pid": os.getpid(),
+                "max_rss": max_rss_bytes(),
             }
         },
     )
@@ -346,6 +348,7 @@ def _merge_meta(results: Sequence) -> dict | None:
         return None
     walls = [s["wall_s"] for s in shards]
     wall_stats = summarize_values(walls)
+    rss = [s["max_rss"] for s in shards if s.get("max_rss")]
     return {
         **({"kernel_backend": kernel_backend} if kernel_backend else {}),
         "shards": shards,
@@ -357,6 +360,10 @@ def _merge_meta(results: Sequence) -> dict | None:
             else 1.0
         ),
         "workers": len({s["pid"] for s in shards}),
+        # Peak RSS over the contributing processes (observability only,
+        # like everything else in meta): the memory-pressure signal
+        # ROADMAP item 2's million-vertex scenarios need.
+        "max_rss": max(rss) if rss else None,
     }
 
 

@@ -48,6 +48,7 @@ from .retry import (
     RetryError,
     RetryPolicy,
     breaker_for,
+    breaker_states,
     reset_breakers,
 )
 
@@ -66,6 +67,7 @@ __all__ = [
     "CircuitBreaker",
     "CircuitOpenError",
     "breaker_for",
+    "breaker_states",
     "reset_breakers",
     "JobCheckpoint",
     "execute_shards_checkpointed",

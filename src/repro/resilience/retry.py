@@ -23,9 +23,15 @@ __all__ = [
     "RetryError",
     "CircuitBreaker",
     "CircuitOpenError",
+    "BREAKER_STATE_VALUES",
     "breaker_for",
+    "breaker_states",
     "reset_breakers",
 ]
+
+#: Gauge encoding of breaker states on ``/metrics``
+#: (``retry.breaker.state``): closed=0, half-open=1, open=2.
+BREAKER_STATE_VALUES = {"closed": 0.0, "half-open": 1.0, "open": 2.0}
 
 
 class RetryError(ConnectionError):
@@ -173,12 +179,17 @@ class CircuitBreaker:
             self._probing = True
             return True
 
+    def _publish_state(self, value: float) -> None:
+        """Publish the state gauge the ``/metrics`` exporter scrapes."""
+        get_telemetry().gauge("retry.breaker.state", value, key=self.key)
+
     def record_success(self) -> None:
         """Note a successful call: closes the breaker."""
         with self._lock:
             self._failures = 0
             self._opened_at = None
             self._probing = False
+        self._publish_state(BREAKER_STATE_VALUES["closed"])
 
     def record_failure(self) -> None:
         """Note a failed call; trips the breaker at the threshold."""
@@ -188,13 +199,18 @@ class CircuitBreaker:
             if self._opened_at is not None:
                 # Failed probe: restart the cooldown window.
                 self._opened_at = self._clock()
-                return
-            self._failures += 1
-            if self._failures >= self.failure_threshold:
-                self._opened_at = self._clock()
-                tripped = True
-            else:
+                reopened = True
                 tripped = False
+            else:
+                reopened = False
+                self._failures += 1
+                if self._failures >= self.failure_threshold:
+                    self._opened_at = self._clock()
+                    tripped = True
+                else:
+                    tripped = False
+        if tripped or reopened:
+            self._publish_state(BREAKER_STATE_VALUES["open"])
         if tripped:
             tel.count("retry.breaker_trips")
             if tel.enabled:
@@ -213,6 +229,13 @@ def breaker_for(key: str, **kwargs) -> CircuitBreaker:
             breaker = CircuitBreaker(key, **kwargs)
             _BREAKERS[key] = breaker
         return breaker
+
+
+def breaker_states() -> dict[str, str]:
+    """A snapshot of every registered breaker's current state by key."""
+    with _BREAKERS_LOCK:
+        breakers = list(_BREAKERS.items())
+    return {key: breaker.state for key, breaker in breakers}
 
 
 def reset_breakers() -> None:

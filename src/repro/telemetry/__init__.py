@@ -52,6 +52,17 @@ from .core import (
     span_id_from,
     summarize_values,
 )
+from .core import format_gauge_key
+from .live import (
+    METRICS_PORT_ENV_VAR,
+    MetricsServer,
+    fetch_statusz,
+    metrics_port_from_env,
+    parse_prometheus,
+    render_prometheus,
+    render_status_panel,
+)
+from .resource import ResourceSampler, max_rss_bytes, resource_snapshot
 from .sinks import NULL_SINK, JsonlSink, MemorySink, NullSink, load_jsonl
 from .summarize import (
     SpanNode,
@@ -75,8 +86,21 @@ __all__ = [
     "span_id_from",
     "seed_id_parts",
     "summarize_values",
+    "format_gauge_key",
     "TELEMETRY_ENV_VAR",
     "TELEMETRY_SAMPLE_ENV_VAR",
+    # live observability plane
+    "METRICS_PORT_ENV_VAR",
+    "MetricsServer",
+    "render_prometheus",
+    "parse_prometheus",
+    "metrics_port_from_env",
+    "fetch_statusz",
+    "render_status_panel",
+    # resource profiling
+    "ResourceSampler",
+    "resource_snapshot",
+    "max_rss_bytes",
     # sinks
     "NullSink",
     "NULL_SINK",

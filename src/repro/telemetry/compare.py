@@ -59,6 +59,7 @@ __all__ = [
     "KERNEL_SPEEDUP_FLOOR",
     "KERNEL_GATE_N",
     "RESILIENCE_OVERHEAD_MAX",
+    "LIVE_OVERHEAD_MAX",
 ]
 
 #: Sharded execution must beat the batched baseline by this factor...
@@ -72,6 +73,9 @@ KERNEL_SPEEDUP_FLOOR = 10.0
 KERNEL_GATE_N = 100_000
 #: An inert resilience plan may cost at most this fraction of runtime.
 RESILIENCE_OVERHEAD_MAX = 0.05
+#: A running metrics exporter + resource sampler may cost at most this
+#: fraction of runtime over the same run with the live plane off.
+LIVE_OVERHEAD_MAX = 0.05
 
 #: Substrings marking a counter whose *increase* is a regression.
 _WORSE_COUNTERS = ("error", "requeue", "reject", "fallback", "fastfail", "fault")
@@ -426,6 +430,15 @@ def evaluate_gates(bench: Bench) -> list[Finding]:
                 RESILIENCE_OVERHEAD_MAX,
                 float(overhead) < RESILIENCE_OVERHEAD_MAX,
                 f"overhead {float(overhead):.2%}",
+            )
+        live = entry.meta.get("live_overhead_fraction")
+        if live is not None:
+            gate(
+                f"live exporter overhead < {LIVE_OVERHEAD_MAX:.0%}",
+                live,
+                LIVE_OVERHEAD_MAX,
+                float(live) < LIVE_OVERHEAD_MAX,
+                f"overhead {float(live):.2%}",
             )
     return findings
 

@@ -47,6 +47,7 @@ __all__ = [
     "TraceContext",
     "span_id_from",
     "seed_id_parts",
+    "format_gauge_key",
     "get_telemetry",
     "configure",
     "configure_from_env",
@@ -240,6 +241,7 @@ class Telemetry:
         self.sample_every = max(1, int(sample_every))
         self._counters: dict[str, float] = {}
         self._histograms: dict[str, list[float]] = {}
+        self._gauges: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
         self._local = threading.local()
         self._lock = threading.Lock()
         self._anon_spans = 0
@@ -405,11 +407,34 @@ class Telemetry:
             "histogram", name, span=self.current_span_id(), value=value
         )
 
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set a point-in-time gauge (last write wins per label set).
+
+        Gauges aggregate even when disabled, like counters — they feed
+        the ``/metrics`` exporter and :meth:`snapshot` without a sink.
+        ``labels`` distinguish series of the same name (e.g. a gauge
+        per circuit-breaker key); a ``gauge`` record is emitted only
+        when a sink is configured.
+        """
+        value = float(value)
+        label_items = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+        with self._lock:
+            self._gauges[(name, label_items)] = value
+        extra = {"span": self.current_span_id(), "value": value}
+        if labels:
+            extra["labels"] = {str(k): str(v) for k, v in labels.items()}
+        self._record("gauge", name, **extra)
+
     # -- aggregation ----------------------------------------------------
     def counters(self) -> dict[str, float]:
         """A copy of the counter totals."""
         with self._lock:
             return dict(self._counters)
+
+    def gauges(self) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+        """A copy of the gauge table, keyed ``(name, sorted label items)``."""
+        with self._lock:
+            return dict(self._gauges)
 
     def histogram_summary(self, name: str) -> dict | None:
         """Count/mean/min/max and p50/p90/p99 of one histogram."""
@@ -418,12 +443,17 @@ class Telemetry:
         return summarize_values(values)
 
     def snapshot(self) -> dict:
-        """Counters plus a summary of every histogram (JSON-able)."""
+        """Counters, gauges and histogram summaries (JSON-able)."""
         with self._lock:
             counters = dict(self._counters)
+            gauges = dict(self._gauges)
             histograms = {k: list(v) for k, v in self._histograms.items()}
         return {
             "counters": counters,
+            "gauges": {
+                format_gauge_key(name, labels): value
+                for (name, labels), value in gauges.items()
+            },
             "histograms": {
                 name: summarize_values(values)
                 for name, values in histograms.items()
@@ -431,14 +461,23 @@ class Telemetry:
         }
 
     def reset(self) -> None:
-        """Clear aggregated counters and histograms (sink untouched)."""
+        """Clear aggregated counters/gauges/histograms (sink untouched)."""
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
             self._histograms.clear()
 
     def flush(self) -> None:
         """Flush the sink."""
         self.sink.flush()
+
+
+def format_gauge_key(name: str, labels: tuple[tuple[str, str], ...]) -> str:
+    """A human/JSON-friendly gauge key: ``name`` or ``name{k=v,...}``."""
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{rendered}}}"
 
 
 def summarize_values(values: list[float]) -> dict | None:

@@ -1,0 +1,179 @@
+"""Per-process resource profiling: RSS, CPU, GC and file descriptors.
+
+Everything here is stdlib-only (``resource``/``gc``/``os``) and purely
+observational — readings come from kernel accounting and the Python
+runtime, never from anything the engine computes with, so sampling can
+never perturb results.  Two consumption modes:
+
+* One-shot: :func:`resource_snapshot` returns a JSON-able dict (used
+  by ``/statusz`` and merged per shard into ``SpreadResult.meta`` as
+  ``max_rss``).
+* Continuous: :class:`ResourceSampler` is a daemon thread publishing
+  the same readings as gauges on the process telemetry registry, where
+  the ``/metrics`` exporter picks them up.
+
+``ru_maxrss`` units differ across platforms (kibibytes on Linux, bytes
+on macOS); :func:`max_rss_bytes` normalises to bytes.  On platforms
+without the ``resource`` module the helpers return ``None`` and the
+sampler simply publishes fewer gauges.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+import threading
+
+try:  # POSIX-only; degrade gracefully elsewhere.
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
+
+__all__ = [
+    "max_rss_bytes",
+    "current_rss_bytes",
+    "cpu_seconds",
+    "open_fd_count",
+    "gc_collection_counts",
+    "resource_snapshot",
+    "ResourceSampler",
+]
+
+#: ``ru_maxrss`` is reported in bytes on macOS, kibibytes elsewhere.
+_MAXRSS_SCALE = 1 if sys.platform == "darwin" else 1024
+
+
+def max_rss_bytes() -> int | None:
+    """Peak resident set size of this process in bytes (None if unknown)."""
+    if _resource is None:  # pragma: no cover - non-POSIX platforms
+        return None
+    usage = _resource.getrusage(_resource.RUSAGE_SELF)
+    return int(usage.ru_maxrss) * _MAXRSS_SCALE
+
+
+def current_rss_bytes() -> int | None:
+    """Current resident set size in bytes via ``/proc`` (None if unknown)."""
+    try:
+        with open("/proc/self/statm") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+def cpu_seconds() -> tuple[float, float] | None:
+    """``(user, system)`` CPU seconds consumed so far (None if unknown)."""
+    if _resource is None:  # pragma: no cover - non-POSIX platforms
+        return None
+    usage = _resource.getrusage(_resource.RUSAGE_SELF)
+    return float(usage.ru_utime), float(usage.ru_stime)
+
+
+def open_fd_count() -> int | None:
+    """Number of open file descriptors (None if unknown)."""
+    for fd_dir in ("/proc/self/fd", "/dev/fd"):
+        try:
+            return len(os.listdir(fd_dir))
+        except OSError:
+            continue
+    return None
+
+
+def gc_collection_counts() -> list[int]:
+    """Completed GC collections per generation, oldest stats last."""
+    return [int(stat.get("collections", 0)) for stat in gc.get_stats()]
+
+
+def resource_snapshot() -> dict:
+    """One JSON-able reading of every resource signal (unknowns omitted)."""
+    snap: dict = {"pid": os.getpid()}
+    rss = current_rss_bytes()
+    if rss is not None:
+        snap["rss_bytes"] = rss
+    peak = max_rss_bytes()
+    if peak is not None:
+        snap["max_rss_bytes"] = peak
+    cpu = cpu_seconds()
+    if cpu is not None:
+        snap["cpu_user_s"], snap["cpu_system_s"] = cpu
+    fds = open_fd_count()
+    if fds is not None:
+        snap["open_fds"] = fds
+    snap["gc_collections"] = gc_collection_counts()
+    return snap
+
+
+class ResourceSampler:
+    """Daemon thread publishing resource gauges at a fixed interval.
+
+    Each tick calls :meth:`sample`, which reads the signals of
+    :func:`resource_snapshot` and publishes them as ``<prefix>.*``
+    gauges (``rss_bytes``, ``max_rss_bytes``, ``cpu_user_seconds``,
+    ``cpu_system_seconds``, ``open_fds`` and a per-generation
+    ``gc_collections``) on the telemetry registry.  The first sample
+    fires synchronously in :meth:`start`, so a scrape immediately
+    after startup already sees the gauges.  Usable as a context
+    manager; stopping is idempotent.
+    """
+
+    def __init__(self, telemetry=None, *, interval_s: float = 1.0, prefix: str = "process") -> None:
+        self._telemetry = telemetry
+        self.interval_s = max(0.05, float(interval_s))
+        self.prefix = prefix
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _registry(self):
+        if self._telemetry is not None:
+            return self._telemetry
+        from .core import get_telemetry
+
+        return get_telemetry()
+
+    def sample(self) -> dict:
+        """Take one reading, publish it as gauges, and return it."""
+        tel = self._registry()
+        snap = resource_snapshot()
+        for key in ("rss_bytes", "max_rss_bytes", "open_fds"):
+            if key in snap:
+                tel.gauge(f"{self.prefix}.{key}", snap[key])
+        if "cpu_user_s" in snap:
+            tel.gauge(f"{self.prefix}.cpu_user_seconds", snap["cpu_user_s"])
+            tel.gauge(f"{self.prefix}.cpu_system_seconds", snap["cpu_system_s"])
+        for gen, collections in enumerate(snap["gc_collections"]):
+            tel.gauge(f"{self.prefix}.gc_collections", collections, generation=gen)
+        return snap
+
+    def start(self) -> "ResourceSampler":
+        """Take an immediate sample and start the sampling thread."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self.sample()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-resource-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.sample()
+            except Exception:  # pragma: no cover - never kill the host process
+                pass
+
+    def stop(self) -> None:
+        """Stop the sampling thread (idempotent; safe if never started)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "ResourceSampler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -130,21 +130,31 @@ def load_jsonl(path) -> Iterator[dict]:
 
     Blank lines are skipped; a malformed line raises ``ValueError``
     naming the line number (the CI smoke leg asserts traces stay
-    valid).
+    valid) — with one deliberate exception: a malformed *final* line
+    with no trailing newline is the half-written record of a file
+    still being appended to (live tooling reads traces while a run is
+    in flight), so it is silently dropped rather than treated as
+    corruption.
     """
     with Path(path).open() as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(
-                    f"{path}: line {lineno} is not valid JSON: {exc}"
-                ) from None
-            if not isinstance(record, dict):
-                raise ValueError(
-                    f"{path}: line {lineno} is not a JSON object"
-                )
-            yield record
+        lines = handle.readlines()
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        partial_tail = lineno == len(lines) and not raw.endswith("\n")
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if partial_tail:
+                return
+            raise ValueError(
+                f"{path}: line {lineno} is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(record, dict):
+            if partial_tail:
+                return
+            raise ValueError(
+                f"{path}: line {lineno} is not a JSON object"
+            )
+        yield record

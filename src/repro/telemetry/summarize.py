@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .core import summarize_values
+from .core import format_gauge_key, summarize_values
 from .sinks import load_jsonl
 
 __all__ = [
@@ -79,6 +79,7 @@ class TraceSummary:
     points: dict[str, int]
     orphans: list[SpanNode] = field(default_factory=list)
     hops: dict[str, dict] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
 
 
 def load_trace(path) -> list[dict]:
@@ -113,6 +114,7 @@ def summarize_trace(records) -> TraceSummary:
     counters: dict[str, float] = {}
     histograms: dict[str, list[float]] = {}
     points: dict[str, int] = {}
+    gauges: dict[str, float] = {}
     pids: set[int] = set()
 
     def node(span_id: str) -> SpanNode:
@@ -153,6 +155,12 @@ def summarize_trace(records) -> TraceSummary:
             counters[name] = counters.get(name, 0) + float(record.get("value", 0))
         elif kind == "histogram":
             histograms.setdefault(name, []).append(float(record.get("value", 0)))
+        elif kind == "gauge":
+            labels = record.get("labels") or {}
+            key = name if not labels else format_gauge_key(
+                name, tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+            )
+            gauges[key] = float(record.get("value", 0))
 
     roots: list[SpanNode] = []
     orphans: list[SpanNode] = []
@@ -209,6 +217,7 @@ def summarize_trace(records) -> TraceSummary:
         points=points,
         orphans=orphans,
         hops=hop_summary,
+        gauges=gauges,
     )
 
 
@@ -347,6 +356,12 @@ def render_trace(records) -> str:
             value = summary.counters[name]
             text = f"{value:g}"
             lines.append(f"  {name:32} {text}")
+
+    if summary.gauges:
+        lines.append("")
+        lines.append("gauges (last value seen):")
+        for name in sorted(summary.gauges):
+            lines.append(f"  {name:32} {summary.gauges[name]:g}")
 
     if summary.histograms:
         lines.append("")

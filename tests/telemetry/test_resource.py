@@ -1,0 +1,107 @@
+"""Resource profiling: one-shot snapshots and the sampler thread."""
+
+import os
+
+from repro.telemetry import (
+    Telemetry,
+    max_rss_bytes,
+    resource_snapshot,
+)
+from repro.telemetry.resource import (
+    ResourceSampler,
+    cpu_seconds,
+    current_rss_bytes,
+    gc_collection_counts,
+    open_fd_count,
+)
+
+
+class TestReaders:
+    def test_max_rss_is_positive_bytes(self):
+        rss = max_rss_bytes()
+        assert rss is not None
+        # A Python process with numpy loaded holds well over 4 MiB, and
+        # a KiB/bytes unit mixup would land an order of magnitude off.
+        assert rss > 4 * 1024 * 1024
+
+    def test_current_rss_close_to_peak(self):
+        current = current_rss_bytes()
+        if current is None:  # no /proc on this platform
+            return
+        assert 0 < current
+
+    def test_cpu_seconds_nonnegative_pair(self):
+        cpu = cpu_seconds()
+        assert cpu is not None
+        user, system = cpu
+        assert user >= 0.0 and system >= 0.0
+
+    def test_open_fd_count(self):
+        fds = open_fd_count()
+        if fds is None:
+            return
+        base = fds
+        handle = open(os.devnull)
+        try:
+            assert open_fd_count() == base + 1
+        finally:
+            handle.close()
+
+    def test_gc_collection_counts_per_generation(self):
+        counts = gc_collection_counts()
+        assert len(counts) >= 1
+        assert all(isinstance(c, int) and c >= 0 for c in counts)
+
+
+class TestResourceSnapshot:
+    def test_keys_and_types(self):
+        snap = resource_snapshot()
+        assert snap["pid"] == os.getpid()
+        assert snap["max_rss_bytes"] > 0
+        assert snap["cpu_user_s"] >= 0.0
+        assert isinstance(snap["gc_collections"], list)
+
+    def test_json_serialisable(self):
+        import json
+
+        json.dumps(resource_snapshot())
+
+
+class TestResourceSampler:
+    def test_start_publishes_gauges_immediately(self):
+        tel = Telemetry()
+        with ResourceSampler(tel, interval_s=60.0):
+            gauges = tel.gauges()
+        names = {name for name, _labels in gauges}
+        assert "process.rss_bytes" in names or "process.max_rss_bytes" in names
+        assert "process.cpu_user_seconds" in names
+        assert ("process.gc_collections", (("generation", "0"),)) in gauges
+
+    def test_custom_prefix(self):
+        tel = Telemetry()
+        sampler = ResourceSampler(tel, interval_s=60.0, prefix="worker")
+        sampler.sample()
+        assert any(name.startswith("worker.") for name, _ in tel.gauges())
+
+    def test_sample_returns_snapshot(self):
+        tel = Telemetry()
+        snap = ResourceSampler(tel).sample()
+        assert snap["pid"] == os.getpid()
+
+    def test_stop_idempotent_and_restartable_start(self):
+        tel = Telemetry()
+        sampler = ResourceSampler(tel, interval_s=60.0)
+        sampler.stop()  # never started: no-op
+        sampler.start()
+        assert sampler.start() is sampler  # idempotent while running
+        sampler.stop()
+        sampler.stop()
+
+    def test_gauges_update_on_resample(self):
+        tel = Telemetry()
+        sampler = ResourceSampler(tel, interval_s=60.0)
+        sampler.sample()
+        first = dict(tel.gauges())
+        sampler.sample()
+        second = dict(tel.gauges())
+        assert set(first) == set(second)  # same keys, values last-write-wins

@@ -1,6 +1,7 @@
 """Sink round-trips: memory, JSONL append/load, null."""
 
 import json
+import threading
 
 import pytest
 
@@ -96,3 +97,113 @@ class TestLoadJsonl:
         path = tmp_path / "t.jsonl"
         path.write_text('{"kind": "point", "name": "a"}\n\n')
         assert len(list(load_jsonl(path))) == 1
+
+
+class TestJsonlSinkConcurrentWriters:
+    """Threaded writers through one sink: no torn or interleaved lines."""
+
+    def test_every_record_lands_whole(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        writers, per_writer = 8, 50
+
+        def pump(writer_id):
+            for i in range(per_writer):
+                sink.write(
+                    {"kind": "point", "name": f"w{writer_id}", "fields": {"i": i}}
+                )
+
+        threads = [
+            threading.Thread(target=pump, args=(w,)) for w in range(writers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        sink.close()
+        records = list(load_jsonl(path))
+        assert len(records) == writers * per_writer
+        # Each writer's records arrive whole and in its own order.
+        for w in range(writers):
+            mine = [r["fields"]["i"] for r in records if r["name"] == f"w{w}"]
+            assert mine == list(range(per_writer))
+
+    def test_concurrent_registry_counts(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tel = Telemetry(JsonlSink(path))
+
+        def pump():
+            for _ in range(100):
+                tel.count("c")
+                tel.event("e")
+
+        threads = [threading.Thread(target=pump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        tel.flush()
+        assert tel.counters()["c"] == 400
+        kinds = [r["kind"] for r in load_jsonl(path)]
+        assert kinds.count("counter") == 400
+        assert kinds.count("point") == 400
+
+
+class TestLoadWhileGrowing:
+    """Reading a trace that another process is still appending to."""
+
+    def test_partial_trailing_line_dropped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "point", "name": "a"}\n{"kind": "poi')
+        records = list(load_jsonl(path))
+        assert [r["name"] for r in records] == ["a"]
+
+    def test_partial_tail_non_object_dropped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "point", "name": "a"}\n[1, 2')
+        assert len(list(load_jsonl(path))) == 1
+
+    def test_partial_tail_complete_json_but_no_newline_kept(self, tmp_path):
+        # A final line that *parses* is a finished record whose newline
+        # simply has not flushed yet — keep it.
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "point", "name": "a"}\n{"kind": "point", "name": "b"}')
+        assert [r["name"] for r in load_jsonl(path)] == ["a", "b"]
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"bad\n{"kind": "point", "name": "a"}\n')
+        with pytest.raises(ValueError, match="line 1"):
+            list(load_jsonl(path))
+
+    def test_terminated_corrupt_final_line_still_raises(self, tmp_path):
+        # The newline means the writer *finished* the line: real corruption.
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "point", "name": "a"}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            list(load_jsonl(path))
+
+    def test_load_traces_tolerates_growing_file(self, tmp_path):
+        from repro.telemetry import load_traces
+
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "point", "name": "a"}\n{"kind": "torn')
+        records = load_traces([path])
+        assert [r["name"] for r in records] == ["a"]
+
+    def test_load_traces_growing_reads_are_monotonic(self, tmp_path):
+        # Simulate an appender: every prefix of a growing file loads
+        # cleanly and yields a prefix of the final record list.
+        full = "".join(
+            json.dumps({"kind": "point", "name": f"r{i}"}) + "\n" for i in range(5)
+        )
+        path = tmp_path / "t.jsonl"
+        seen = 0
+        for cut in range(1, len(full) + 1):
+            path.write_text(full[:cut])
+            records = list(load_jsonl(path))
+            assert len(records) >= seen
+            names = [r["name"] for r in records]
+            assert names == [f"r{i}" for i in range(len(names))]
+            seen = len(records)
+        assert seen == 5
